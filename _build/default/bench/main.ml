@@ -1,0 +1,177 @@
+(* The benchmark harness.
+
+   Default invocation regenerates every table and figure of the paper plus
+   the Section 4/6 ablations, printing paper-shaped rows (see
+   EXPERIMENTS.md for the mapping). `--quick` shrinks windows and ladders;
+   positional arguments select experiments by id; `--bechamel` runs the
+   microbenchmark suite instead (one Bechamel test per experiment kernel,
+   including the Θ(n log n) cache-packing claim, E5). *)
+
+let experiments ~quick ids =
+  let ppf = Format.std_formatter in
+  Format.fprintf ppf
+    "o2sched benchmark harness: CoreTime (HotOS 2009) reproduction@.";
+  Format.fprintf ppf "machine under test: %a@.@." O2_simcore.Config.pp
+    O2_simcore.Config.amd16;
+  let ids = if ids = [] then O2_experiments.Registry.ids () else ids in
+  match O2_experiments.Registry.run_ids ~quick ppf ids with
+  | Ok () -> 0
+  | Error msg ->
+      prerr_endline ("bench: " ^ msg);
+      1
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                            *)
+
+open Bechamel
+open Toolkit
+
+let packing_items n =
+  List.init n (fun i ->
+      {
+        Coretime.Cache_packing.key = i;
+        bytes = 1024 + (i mod 7 * 4096);
+        heat = float_of_int ((i * 2654435761) land 0xFFFF);
+      })
+
+(* E5: the paper claims the cache-packing algorithm is Θ(n log n); the
+   per-element time should stay ~log n across sizes. *)
+let test_packing n =
+  let items = packing_items n in
+  let used = Array.make 16 0 in
+  Test.make
+    ~name:(Printf.sprintf "cache_packing/pack n=%d" n)
+    (Staged.stage (fun () ->
+         ignore
+           (Coretime.Cache_packing.pack ~budget:(1 lsl 20) ~used ~items)))
+
+let test_lru =
+  let lru = O2_simcore.Lru.create ~cap:8192 in
+  let i = ref 0 in
+  Test.make ~name:"lru/add+touch"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (O2_simcore.Lru.add lru (!i land 0x3FFF));
+         ignore (O2_simcore.Lru.touch lru ((!i * 7) land 0x3FFF))))
+
+let test_read_hit =
+  let machine = O2_simcore.Machine.create O2_simcore.Config.amd16 in
+  let ext =
+    O2_simcore.Memsys.alloc (O2_simcore.Machine.memory machine) ~name:"b"
+      ~size:64
+  in
+  let addr = ext.O2_simcore.Memsys.base in
+  ignore (O2_simcore.Machine.read machine ~core:0 ~now:0 ~addr ~len:8);
+  Test.make ~name:"machine/read L1 hit"
+    (Staged.stage (fun () ->
+         ignore (O2_simcore.Machine.read machine ~core:0 ~now:0 ~addr ~len:8)))
+
+let test_read_stream =
+  let machine = O2_simcore.Machine.create O2_simcore.Config.amd16 in
+  let ext =
+    O2_simcore.Memsys.alloc (O2_simcore.Machine.memory machine) ~name:"s"
+      ~size:(1 lsl 22)
+  in
+  let base = ext.O2_simcore.Memsys.base in
+  let off = ref 0 in
+  Test.make ~name:"machine/read 4KB stream (capacity misses)"
+    (Staged.stage (fun () ->
+         off := (!off + 4096) land ((1 lsl 22) - 1);
+         ignore
+           (O2_simcore.Machine.read machine ~core:0 ~now:0 ~addr:(base + !off)
+              ~len:4096)))
+
+(* One tiny end-to-end cell per figure: a full build + short simulation.
+   These are the units the figure sweeps repeat at scale. *)
+let figure_cell ~name ~policy ~oscillate =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let machine = O2_simcore.Machine.create O2_simcore.Config.amd16 in
+         let engine = O2_runtime.Engine.create machine in
+         let ct = Coretime.create ~policy engine () in
+         let spec = { O2_workload.Dir_workload.default_spec with dirs = 8 } in
+         let w = O2_workload.Dir_workload.build ct spec in
+         O2_workload.Dir_workload.spawn_threads w;
+         if oscillate then
+           O2_workload.Phase.oscillate_active engine w ~period:500_000
+             ~divisor:16;
+         O2_runtime.Engine.run ~until:2_000_000 engine))
+
+let test_fig4a_cell_with =
+  figure_cell ~name:"fig4a/cell with-coretime" ~policy:Coretime.Policy.default
+    ~oscillate:false
+
+let test_fig4a_cell_without =
+  figure_cell ~name:"fig4a/cell without-coretime"
+    ~policy:Coretime.Policy.baseline ~oscillate:false
+
+let test_fig4b_cell =
+  figure_cell ~name:"fig4b/cell oscillating" ~policy:Coretime.Policy.default
+    ~oscillate:true
+
+let test_lookup =
+  let machine = O2_simcore.Machine.create O2_simcore.Config.amd16 in
+  let engine = O2_runtime.Engine.create machine in
+  let ct = Coretime.create ~policy:Coretime.Policy.baseline engine () in
+  let spec = { O2_workload.Dir_workload.default_spec with dirs = 4 } in
+  let w = O2_workload.Dir_workload.build ct spec in
+  let fs = O2_workload.Dir_workload.fs w in
+  let d = O2_workload.Dir_workload.directory w 0 in
+  Test.make ~name:"fat/lookup_host (1000-entry dir)"
+    (Staged.stage (fun () -> ignore (O2_fs.Fat.lookup_host fs d "f999.dat")))
+
+let bechamel_tests =
+  [
+    test_packing 256;
+    test_packing 1024;
+    test_packing 4096;
+    test_packing 16384;
+    test_lru;
+    test_read_hit;
+    test_read_stream;
+    test_lookup;
+    test_fig4a_cell_with;
+    test_fig4a_cell_without;
+    test_fig4b_cell;
+  ]
+
+let run_bechamel () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None () in
+  print_endline "bechamel microbenchmarks (monotonic clock, ns/run):";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg instances elt in
+          let result = Analyze.one ols Instance.monotonic_clock raw in
+          let estimate =
+            match Analyze.OLS.estimates result with
+            | Some (e :: _) -> e
+            | Some [] | None -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square result with Some r -> r | None -> nan
+          in
+          Printf.printf "  %-42s %12.1f ns/run (r2=%.3f)\n%!"
+            (Test.Elt.name elt) estimate r2)
+        (Test.elements test))
+    bechamel_tests;
+  print_endline "";
+  print_endline
+    "cache_packing scaling check (E5): time/run should grow as n log n,";
+  print_endline
+    "i.e. roughly x4.4 per x4 in n across the four cache_packing rows.";
+  0
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args || List.mem "-q" args in
+  let bech = List.mem "--bechamel" args in
+  let ids =
+    List.filter (fun a -> not (String.length a > 0 && a.[0] = '-')) args
+  in
+  exit (if bech then run_bechamel () else experiments ~quick ids)

@@ -1,0 +1,97 @@
+(* o2sim: command-line front end for the CoreTime reproduction.
+
+   `o2sim list` shows the experiment catalogue; `o2sim run fig4a ...`
+   regenerates figures/tables; `o2sim machine` describes the simulated
+   hardware. *)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List the experiment catalogue." in
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-26s %-55s [%s]%s\n" e.O2_experiments.Registry.id
+          e.O2_experiments.Registry.title e.O2_experiments.Registry.paper_ref
+          (if e.O2_experiments.Registry.default_set then " (default)" else ""))
+      O2_experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let quick_arg =
+  let doc = "Shorter warmup and measurement windows (x1/4, fewer points)." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let ids_arg =
+  let doc =
+    "Experiment ids to run (see $(b,o2sim list)); default: the paper's \
+     figures and tables."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let all_arg =
+  let doc = "Run every experiment in the catalogue, ablations included." in
+  Arg.(value & flag & info [ "all"; "a" ] ~doc)
+
+let out_arg =
+  let doc = "Also write the report to this file." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let run_cmd =
+  let doc = "Run experiments and print paper-shaped tables and figures." in
+  let run quick all out ids =
+    let ids = if all then O2_experiments.Registry.ids () else ids in
+    let finish ppf result =
+      Format.pp_print_flush ppf ();
+      match result with
+      | Ok () -> ()
+      | Error msg ->
+          prerr_endline ("o2sim: " ^ msg);
+          exit 1
+    in
+    match out with
+    | None ->
+        finish Format.std_formatter
+          (O2_experiments.Registry.run_ids ~quick Format.std_formatter ids)
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            let buf = Buffer.create 4096 in
+            let ppf = Format.formatter_of_buffer buf in
+            let result = O2_experiments.Registry.run_ids ~quick ppf ids in
+            Format.pp_print_flush ppf ();
+            output_string oc (Buffer.contents buf);
+            print_string (Buffer.contents buf);
+            finish Format.std_formatter result)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(const run $ quick_arg $ all_arg $ out_arg $ ids_arg)
+
+let machine_cmd =
+  let doc = "Describe the simulated machines." in
+  let run () =
+    List.iter
+      (fun cfg ->
+        Format.printf "%a@." O2_simcore.Config.pp cfg;
+        Format.printf "  topology: %a@." O2_simcore.Topology.pp
+          (O2_simcore.Topology.create cfg);
+        Format.printf "  on-chip capacity: %d KB; per-core packing budget: %d KB@.@."
+          (O2_simcore.Config.on_chip_capacity cfg / 1024)
+          (O2_simcore.Config.per_core_budget cfg / 1024))
+      [ O2_simcore.Config.amd16; O2_simcore.Config.small4; O2_simcore.Config.future64 ]
+  in
+  Cmd.v (Cmd.info "machine" ~doc) Term.(const run $ const ())
+
+let main =
+  let doc =
+    "CoreTime: an O2 (object/operation) scheduler reproduction \
+     (Boyd-Wickizer et al., HotOS 2009)"
+  in
+  Cmd.group
+    (Cmd.info "o2sim" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; machine_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/kv_cache.ml: Config Coretime Engine Kv_store List Machine O2_runtime O2_simcore O2_workload Printf Rng

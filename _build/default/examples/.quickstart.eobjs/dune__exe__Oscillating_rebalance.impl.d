@@ -1,0 +1,1 @@
+examples/oscillating_rebalance.ml: Config Coretime Dir_workload Machine O2_runtime O2_simcore O2_workload Phase Printf

@@ -1,0 +1,1 @@
+examples/oscillating_rebalance.mli:

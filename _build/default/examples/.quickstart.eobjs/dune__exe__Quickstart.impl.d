@@ -1,0 +1,1 @@
+examples/quickstart.ml: Api Array Config Coretime Engine Format Machine Memsys O2_runtime O2_simcore O2_workload Printf

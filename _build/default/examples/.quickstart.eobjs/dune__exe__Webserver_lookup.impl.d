@@ -1,0 +1,1 @@
+examples/webserver_lookup.ml: Array Config Coretime Dir_workload Machine O2_runtime O2_simcore O2_workload Printf Sys

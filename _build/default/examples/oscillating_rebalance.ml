@@ -1,0 +1,49 @@
+(* Watching the runtime monitor work (paper Section 4, Figure 4(b)).
+
+   The active directory set oscillates between the full set and a
+   sixteenth of it. Greedy first-fit packing had placed those few
+   directories on the first cores, so each shrink initially saturates
+   them; the monitor notices (busy cores + idle cores) and spreads the hot
+   objects back out. This example prints a window-by-window trace of
+   throughput and monitor actions.
+
+     dune exec examples/oscillating_rebalance.exe *)
+
+open O2_simcore
+open O2_workload
+
+let () =
+  let machine = Machine.create Config.amd16 in
+  let engine = O2_runtime.Engine.create machine in
+  let ct = Coretime.create ~policy:Coretime.Policy.default engine () in
+  let spec = Dir_workload.spec_for_data_kb ~kb:8192 () in
+  let w = Dir_workload.build ct spec in
+  Dir_workload.spawn_threads w;
+  let period = 10_000_000 in
+  Phase.oscillate_active engine w ~period ~divisor:16;
+  Printf.printf
+    "8 MB of directories; active set flips full <-> 1/16 every %.0f ms\n\n"
+    (1000. *. Machine.seconds_of_cycles machine period);
+  Printf.printf "%6s  %7s  %10s  %6s  %6s  %10s\n" "ms" "active" "kres/s"
+    "moves" "demote" "assigned";
+  let window = 2_000_000 in
+  let prev_ops = ref 0 in
+  let prev_moves = ref 0 and prev_demotions = ref 0 in
+  for i = 1 to 50 do
+    O2_runtime.Engine.run ~until:(i * window) engine;
+    let ops = Dir_workload.lookups_done w in
+    let rb = Coretime.Rebalancer.stats (Coretime.rebalancer ct) in
+    let kres =
+      float_of_int (ops - !prev_ops)
+      /. Machine.seconds_of_cycles machine window /. 1000.
+    in
+    Printf.printf "%6.0f  %7d  %10.0f  %6d  %6d  %10d\n%!"
+      (1000. *. Machine.seconds_of_cycles machine (i * window))
+      (Dir_workload.active w) kres
+      (rb.Coretime.Rebalancer.moves - !prev_moves)
+      (rb.Coretime.Rebalancer.demotions - !prev_demotions)
+      (Coretime.Object_table.assigned_count (Coretime.table ct));
+    prev_ops := ops;
+    prev_moves := rb.Coretime.Rebalancer.moves;
+    prev_demotions := rb.Coretime.Rebalancer.demotions
+  done

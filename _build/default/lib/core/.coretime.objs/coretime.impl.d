@@ -1,0 +1,1 @@
+lib/core/coretime.ml: Api Array Cache_packing Clustering Config Counters Engine Format Fun Hashtbl List Machine O2_runtime O2_simcore Object_table Option Ownership Policy Rebalancer String Thread

@@ -1,0 +1,1 @@
+lib/core/coretime.mli: Cache_packing Clustering Format O2_runtime Object_table Ownership Policy Rebalancer

@@ -1,0 +1,1 @@
+lib/core/cache_packing.ml: Array Hashtbl List Policy

@@ -1,0 +1,1 @@
+lib/core/clustering.ml: Hashtbl List Object_table Option

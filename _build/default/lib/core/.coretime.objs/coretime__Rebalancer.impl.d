@@ -1,0 +1,1 @@
+lib/core/rebalancer.ml: Array Counters Fun List Machine O2_simcore Object_table Option Policy

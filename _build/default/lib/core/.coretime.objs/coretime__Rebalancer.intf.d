@@ -1,0 +1,1 @@
+lib/core/rebalancer.mli: O2_simcore Object_table Policy

@@ -1,0 +1,35 @@
+(** The greedy first-fit "cache packing" algorithm (paper Section 4,
+    "Algorithm"): assign each expensive-to-fetch object to a cache with
+    free space, hottest objects first.
+
+    Sorting dominates, so a full pack of [n] objects runs in Θ(n log n) —
+    the complexity the paper claims; benchmark E5 measures it. The
+    incremental variant {!place_one} is what [ct_start] promotion uses. *)
+
+type item = { key : int; bytes : int; heat : float }
+(** [key] is caller-chosen (an object base address); [heat] orders packing
+    (e.g. miss EWMA x popularity). *)
+
+val pack :
+  budget:int ->
+  used:int array ->
+  items:item list ->
+  (item * int) list * item list
+(** [pack ~budget ~used ~items] greedily first-fits items in decreasing
+    heat order into cores whose [used.(c)] leaves room under [budget].
+    Returns (placed as [(item, core)] pairs, unplaced). [used] is not
+    mutated. Deterministic: ties in heat keep input order. *)
+
+val place_one :
+  placement:Policy.placement ->
+  budget:int ->
+  used:int array ->
+  bytes:int ->
+  int option
+(** Choose a core with at least [bytes] free under [budget], following the
+    placement policy: [First_fit] picks the lowest-numbered such core,
+    [Least_loaded] the one with the most free space (lowest id breaks
+    ties), [Random_fit] a uniformly random one (deterministic in its seed
+    and call count). *)
+
+val is_feasible : budget:int -> used:int array -> bytes:int -> bool

@@ -1,0 +1,55 @@
+type t = {
+  counts : (int * int, int) Hashtbl.t;
+  by_obj : (int, (int, int) Hashtbl.t) Hashtbl.t;
+}
+
+let create () = { counts = Hashtbl.create 256; by_obj = Hashtbl.create 256 }
+
+let key a b = if a <= b then (a, b) else (b, a)
+
+let bump tbl k =
+  Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+
+let partner_tbl t a =
+  match Hashtbl.find_opt t.by_obj a with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.add t.by_obj a tbl;
+      tbl
+
+let note_coaccess t a b =
+  if a <> b then begin
+    bump t.counts (key a b);
+    bump (partner_tbl t a) b;
+    bump (partner_tbl t b) a
+  end
+
+let coaccess_count t a b =
+  Option.value ~default:0 (Hashtbl.find_opt t.counts (key a b))
+
+let partners t a =
+  match Hashtbl.find_opt t.by_obj a with
+  | None -> []
+  | Some tbl ->
+      Hashtbl.fold (fun b n acc -> (b, n) :: acc) tbl []
+      |> List.sort (fun (b1, n1) (b2, n2) ->
+             if n1 <> n2 then compare n2 n1 else compare b1 b2)
+
+let preferred_core t table ~min_coaccess obj =
+  let rec pick = function
+    | [] -> None
+    | (partner_base, n) :: rest ->
+        if n < min_coaccess then None
+        else begin
+          match Object_table.find table partner_base with
+          | Some partner -> (
+              match partner.Object_table.home with
+              | Some core when Object_table.fits table ~core obj -> Some core
+              | Some _ | None -> pick rest)
+          | None -> pick rest
+        end
+  in
+  pick (partners t obj.Object_table.base)
+
+let pairs_tracked t = Hashtbl.length t.counts

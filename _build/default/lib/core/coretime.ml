@@ -1,0 +1,244 @@
+module Policy = Policy
+module Object_table = Object_table
+module Cache_packing = Cache_packing
+module Clustering = Clustering
+module Ownership = Ownership
+module Rebalancer = Rebalancer
+
+open O2_simcore
+open O2_runtime
+
+type frame = {
+  obj : Object_table.obj option;
+  write : bool;
+  migrated_from : int option;
+  snap_remote : int;
+  snap_dram : int;
+  snap_busy : int;
+}
+
+type stats = {
+  mutable promotions : int;
+  mutable replications : int;
+  mutable op_migrations : int;
+  mutable ops : int;
+}
+
+type t = {
+  engine_ : Engine.t;
+  policy_ : Policy.t;
+  table_ : Object_table.t;
+  clustering_ : Clustering.t;
+  ownership_ : Ownership.t;
+  rebalancer_ : Rebalancer.t;
+  stats_ : stats;
+  frames : (int, frame list) Hashtbl.t;  (* thread id -> open regions *)
+}
+
+let create ?(policy = Policy.default) engine () =
+  (match Policy.validate policy with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Coretime.create: " ^ e));
+  let machine = Engine.machine engine in
+  let cfg = Machine.cfg machine in
+  let budget =
+    int_of_float
+      (float_of_int (Config.per_core_budget cfg) *. policy.Policy.budget_fraction)
+  in
+  let table_ = Object_table.create ~cores:(Config.cores cfg) ~budget_per_core:budget in
+  let rebalancer_ = Rebalancer.create policy table_ machine in
+  let t =
+    {
+      engine_ = engine;
+      policy_ = policy;
+      table_;
+      clustering_ = Clustering.create ();
+      ownership_ = Ownership.create ();
+      rebalancer_;
+      stats_ = { promotions = 0; replications = 0; op_migrations = 0; ops = 0 };
+      frames = Hashtbl.create 64;
+    }
+  in
+  if policy.Policy.enabled && policy.Policy.rebalance then
+    Engine.every engine ~period:policy.Policy.rebalance_period (fun ~now ->
+        Engine.finalize_idle engine;
+        Rebalancer.step rebalancer_ ~now);
+  t
+
+let engine t = t.engine_
+let policy t = t.policy_
+let table t = t.table_
+let clustering t = t.clustering_
+let ownership t = t.ownership_
+let rebalancer t = t.rebalancer_
+let stats t = t.stats_
+
+let register t ?pid ~base ~size ~name () =
+  Object_table.register t.table_ ?pid ~base ~size ~name ()
+
+let push_frame t tid frame =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.frames tid) in
+  Hashtbl.replace t.frames tid (frame :: existing)
+
+let pop_frame t tid =
+  match Hashtbl.find_opt t.frames tid with
+  | None | Some [] ->
+      invalid_arg "Coretime.ct_end: no operation in progress for this thread"
+  | Some (frame :: rest) ->
+      if rest = [] then Hashtbl.remove t.frames tid
+      else Hashtbl.replace t.frames tid rest;
+      frame
+
+let parent_obj t tid =
+  match Hashtbl.find_opt t.frames tid with
+  | Some ({ obj = Some o; _ } :: _) -> Some o
+  | _ -> None
+
+(* Should a hot read-only object be left for the hardware to replicate
+   instead of being packed onto one home core? (Section 6.2 tradeoff.) *)
+let replicate_instead t (o : Object_table.obj) =
+  t.policy_.Policy.replicate_read_only
+  && o.Object_table.writes = 0
+  && (o.Object_table.replicated
+     || o.Object_table.ops_period >= t.policy_.Policy.replicate_min_ops)
+
+let maybe_promote t (o : Object_table.obj) =
+  let p = t.policy_ in
+  if
+    o.Object_table.home = None
+    && o.Object_table.ops_total >= p.Policy.promote_min_ops
+    && o.Object_table.ewma_misses > p.Policy.promote_threshold
+  then
+    if replicate_instead t o then begin
+      o.Object_table.replicated <- true;
+      t.stats_.replications <- t.stats_.replications + 1
+    end
+    else begin
+      let used =
+        Array.init
+          (Engine.cores t.engine_)
+          (fun c -> Object_table.used t.table_ c)
+      in
+      let clustered =
+        if p.Policy.clustering then
+          Clustering.preferred_core t.clustering_ t.table_
+            ~min_coaccess:p.Policy.cluster_min_coaccess o
+        else None
+      in
+      let core =
+        match clustered with
+        | Some _ as c -> c
+        | None ->
+            Cache_packing.place_one ~placement:p.Policy.placement
+              ~budget:(Object_table.budget t.table_)
+              ~used ~bytes:o.Object_table.size
+      in
+      match core with
+      | Some core ->
+          Object_table.assign t.table_ o core;
+          t.stats_.promotions <- t.stats_.promotions + 1
+      | None -> ()  (* no cache has space: hardware keeps managing it *)
+    end
+
+let ct_start t ?(write = false) addr =
+  let th = Api.self () in
+  let tid = th.Thread.id in
+  if not t.policy_.Policy.enabled then
+    push_frame t tid
+      {
+        obj = None;
+        write;
+        migrated_from = None;
+        snap_remote = 0;
+        snap_dram = 0;
+        snap_busy = 0;
+      }
+  else begin
+    Api.compute t.policy_.Policy.ct_overhead;
+    let obj = Object_table.find t.table_ addr in
+    (match (obj, parent_obj t tid) with
+    | Some o, Some parent ->
+        Clustering.note_coaccess t.clustering_ o.Object_table.base
+          parent.Object_table.base
+    | _ -> ());
+    (match obj with Some o -> maybe_promote t o | None -> ());
+    let migrated_from =
+      match obj with
+      | Some { Object_table.home = Some home; _ } when home <> th.Thread.core ->
+          let from = th.Thread.core in
+          t.stats_.op_migrations <- t.stats_.op_migrations + 1;
+          if t.policy_.Policy.op_shipping then Api.ship_to home
+          else Api.migrate_to home;
+          Some from
+      | _ -> None
+    in
+    let c = Machine.counters (Engine.machine t.engine_) th.Thread.core in
+    push_frame t tid
+      {
+        obj;
+        write;
+        migrated_from;
+        snap_remote = c.Counters.remote_hits;
+        snap_dram = c.Counters.dram_loads;
+        snap_busy = c.Counters.busy_cycles;
+      }
+  end
+
+let ct_end t =
+  let th = Api.self () in
+  let frame = pop_frame t th.Thread.id in
+  let machine = Engine.machine t.engine_ in
+  let c = Machine.counters machine th.Thread.core in
+  c.Counters.ops_completed <- c.Counters.ops_completed + 1;
+  t.stats_.ops <- t.stats_.ops + 1;
+  if t.policy_.Policy.enabled then begin
+    (match frame.obj with
+    | Some o ->
+        let misses =
+          c.Counters.remote_hits - frame.snap_remote
+          + (c.Counters.dram_loads - frame.snap_dram)
+        in
+        let alpha = t.policy_.Policy.ewma_alpha in
+        o.Object_table.ewma_misses <-
+          (alpha *. float_of_int misses)
+          +. ((1.0 -. alpha) *. o.Object_table.ewma_misses);
+        o.Object_table.ops_total <- o.Object_table.ops_total + 1;
+        o.Object_table.ops_period <- o.Object_table.ops_period + 1;
+        if frame.write then begin
+          o.Object_table.writes <- o.Object_table.writes + 1;
+          (* a written object is no longer a replication candidate *)
+          o.Object_table.replicated <- false
+        end;
+        Ownership.charge t.ownership_ ~pid:o.Object_table.owner_pid
+          ~cycles:(c.Counters.busy_cycles - frame.snap_busy)
+    | None -> ());
+    match frame.migrated_from with
+    | Some home_core when t.policy_.Policy.migrate_back ->
+        if t.policy_.Policy.op_shipping then Api.ship_to home_core
+        else Api.migrate_to home_core
+    | Some _ | None -> ()
+  end
+
+let with_op t ?write addr f =
+  ct_start t ?write addr;
+  let result = f () in
+  ct_end t;
+  result
+
+let assignments t =
+  let cores = Engine.cores t.engine_ in
+  List.filter_map
+    (fun core ->
+      match Object_table.assigned t.table_ ~core with
+      | [] -> None
+      | objs -> Some (core, objs))
+    (List.init cores Fun.id)
+
+let pp_assignments ppf t =
+  List.iter
+    (fun (core, objs) ->
+      Format.fprintf ppf "core %2d (%7d bytes): %s@." core
+        (Object_table.used t.table_ core)
+        (String.concat ", "
+           (List.map (fun o -> o.Object_table.name) objs)))
+    (assignments t)

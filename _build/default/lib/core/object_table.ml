@@ -1,0 +1,117 @@
+type obj = {
+  base : int;
+  size : int;
+  name : string;
+  mutable home : int option;
+  mutable ewma_misses : float;
+  mutable ops_total : int;
+  mutable ops_period : int;
+  mutable idle_periods : int;
+  mutable writes : int;
+  mutable replicated : bool;
+  mutable owner_pid : int;
+}
+
+type t = {
+  by_base : (int, obj) Hashtbl.t;
+  used_ : int array;  (* bytes assigned per core *)
+  budget_ : int;
+  mutable order : obj list;  (* reverse registration order *)
+}
+
+let create ~cores ~budget_per_core =
+  if cores <= 0 then invalid_arg "Object_table.create: cores";
+  if budget_per_core <= 0 then invalid_arg "Object_table.create: budget";
+  {
+    by_base = Hashtbl.create 1024;
+    used_ = Array.make cores 0;
+    budget_ = budget_per_core;
+    order = [];
+  }
+
+let register t ?(pid = 0) ~base ~size ~name () =
+  if size <= 0 then invalid_arg "Object_table.register: size must be positive";
+  if Hashtbl.mem t.by_base base then
+    invalid_arg
+      (Printf.sprintf "Object_table.register: duplicate object at %#x" base);
+  let o =
+    {
+      base;
+      size;
+      name;
+      home = None;
+      ewma_misses = 0.0;
+      ops_total = 0;
+      ops_period = 0;
+      idle_periods = 0;
+      writes = 0;
+      replicated = false;
+      owner_pid = pid;
+    }
+  in
+  Hashtbl.add t.by_base base o;
+  t.order <- o :: t.order;
+  o
+
+let find t base = Hashtbl.find_opt t.by_base base
+
+let find_exn t base =
+  match find t base with
+  | Some o -> o
+  | None ->
+      invalid_arg (Printf.sprintf "Object_table.find_exn: no object at %#x" base)
+
+let objects t = List.rev t.order
+let size t = Hashtbl.length t.by_base
+
+let unassign t o =
+  match o.home with
+  | None -> ()
+  | Some core ->
+      t.used_.(core) <- t.used_.(core) - o.size;
+      o.home <- None
+
+let assign t o core =
+  if core < 0 || core >= Array.length t.used_ then
+    invalid_arg "Object_table.assign: core out of range";
+  unassign t o;
+  o.home <- Some core;
+  t.used_.(core) <- t.used_.(core) + o.size
+
+let budget t = t.budget_
+let used t core = t.used_.(core)
+let total_used t = Array.fold_left ( + ) 0 t.used_
+
+let occupancy t =
+  float_of_int (total_used t)
+  /. float_of_int (t.budget_ * Array.length t.used_)
+let free_space t core = t.budget_ - t.used_.(core)
+
+let assigned t ~core =
+  List.filter (fun o -> o.home = Some core) (objects t)
+
+let assigned_count t =
+  Hashtbl.fold (fun _ o acc -> if o.home <> None then acc + 1 else acc) t.by_base 0
+
+let fits t ~core o = o.size <= free_space t core
+
+let can_place t o = Array.exists (fun u -> u + o.size <= t.budget_) t.used_
+
+let check_accounting t =
+  let n = Array.length t.used_ in
+  let recomputed = Array.make n 0 in
+  Hashtbl.iter
+    (fun _ o ->
+      match o.home with
+      | Some c -> recomputed.(c) <- recomputed.(c) + o.size
+      | None -> ())
+    t.by_base;
+  let rec check c =
+    if c >= n then Ok ()
+    else if recomputed.(c) <> t.used_.(c) then
+      Error
+        (Printf.sprintf "core %d: accounted %d bytes, actual %d" c t.used_.(c)
+           recomputed.(c))
+    else check (c + 1)
+  in
+  check 0

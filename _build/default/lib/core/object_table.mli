@@ -1,0 +1,68 @@
+(** CoreTime's object table (paper Section 4, "Interface"): registered
+    objects keyed by the address that identifies them, their home-core
+    assignment, and per-core cache-budget accounting.
+
+    [ct_start(o)] resolves its address argument through {!find}; promotion
+    and rebalancing mutate assignments through {!assign} / {!unassign},
+    which maintain how many bytes are packed into each core's budget. *)
+
+type obj = {
+  base : int;  (** Identifying address (e.g. a directory's first cluster). *)
+  size : int;  (** Bytes, as supplied at registration. *)
+  name : string;
+  mutable home : int option;  (** Assigned core, when in the table. *)
+  mutable ewma_misses : float;  (** Per-op cache-miss EWMA. *)
+  mutable ops_total : int;
+  mutable ops_period : int;  (** Ops since the last monitor period. *)
+  mutable idle_periods : int;  (** Consecutive periods with zero ops. *)
+  mutable writes : int;  (** Write operations observed on it. *)
+  mutable replicated : bool;
+      (** The replication policy decided the hardware should manage this
+          hot read-only object; promotion leaves it alone until it is
+          written. *)
+  mutable owner_pid : int;  (** Owning process (fairness accounting). *)
+}
+
+type t
+
+val create : cores:int -> budget_per_core:int -> t
+
+val register :
+  t -> ?pid:int -> base:int -> size:int -> name:string -> unit -> obj
+(** @raise Invalid_argument on duplicate base or non-positive size. *)
+
+val find : t -> int -> obj option
+(** Lookup by identifying address (exact base match, O(1) — the table
+    lookup [ct_start] performs). *)
+
+val find_exn : t -> int -> obj
+val objects : t -> obj list
+val size : t -> int
+
+val assign : t -> obj -> int -> unit
+(** Put [obj] in the table with the given home core (moving it if it was
+    assigned elsewhere); updates budget accounting. *)
+
+val unassign : t -> obj -> unit
+
+val budget : t -> int
+val used : t -> int -> int
+(** Bytes currently assigned to a core. *)
+
+val total_used : t -> int
+val occupancy : t -> float
+(** [total_used / (budget * cores)]: how full the table's cache budget is. *)
+
+val free_space : t -> int -> int
+val assigned : t -> core:int -> obj list
+(** Objects homed on [core]. *)
+
+val assigned_count : t -> int
+(** Objects currently in the table. *)
+
+val fits : t -> core:int -> obj -> bool
+
+(** [can_place t o] is whether any core currently has budget for [o]. *)
+val can_place : t -> obj -> bool
+val check_accounting : t -> (unit, string) result
+(** Budget-accounting invariant for the property tests. *)

@@ -1,0 +1,230 @@
+open O2_simcore
+
+type stats = {
+  mutable periods : int;
+  mutable demotions : int;
+  mutable moves : int;
+  mutable displacements : int;
+  mutable replications : int;
+}
+
+type t = {
+  policy : Policy.t;
+  table : Object_table.t;
+  machine : Machine.t;
+  mutable last : Counters.t array;
+  mutable last_now : int;
+  stats_ : stats;
+}
+
+let create policy table machine =
+  {
+    policy;
+    table;
+    machine;
+    last = Array.map Counters.copy (Machine.all_counters machine);
+    last_now = 0;
+    stats_ =
+      { periods = 0; demotions = 0; moves = 0; displacements = 0; replications = 0 };
+  }
+
+let stats t = t.stats_
+
+(* Demotion exists to free budget, so it only runs under budget pressure;
+   an assignment that merely went quiet keeps its home (rearranging, not
+   forgetting, is the monitor's job — Section 4). The threshold leaves
+   room for a reasonable burst of new promotions. *)
+let demotion_pressure t = Object_table.occupancy t.table > 0.8
+
+let demote_stale t =
+  List.iter
+    (fun o ->
+      let open Object_table in
+      if o.home <> None then
+        if o.ops_period = 0 then begin
+          o.idle_periods <- o.idle_periods + 1;
+          if o.idle_periods >= t.policy.Policy.demote_idle_periods then begin
+            Object_table.unassign t.table o;
+            o.idle_periods <- 0;
+            t.stats_.demotions <- t.stats_.demotions + 1
+          end
+        end
+        else o.idle_periods <- 0)
+    (Object_table.objects t.table)
+
+(* Busy fraction of the elapsed period: executing or spinning both occupy
+   the core's pinned worker. *)
+let busy_ratio delta period =
+  if period <= 0 then 0.0
+  else
+    float_of_int (delta.Counters.busy_cycles + delta.Counters.spin_cycles)
+    /. float_of_int period
+
+let idle_ratio delta period =
+  if period <= 0 then 0.0
+  else float_of_int delta.Counters.idle_cycles /. float_of_int period
+
+let move_from_saturated t deltas period =
+  let ncores = Array.length deltas in
+  let busy = Array.map (fun d -> busy_ratio d period) deltas in
+  let idle = Array.map (fun d -> idle_ratio d period) deltas in
+  let avg_busy = Array.fold_left ( +. ) 0.0 busy /. float_of_int ncores in
+  let dram = Array.map (fun d -> d.Counters.dram_loads) deltas in
+  let avg_dram =
+    float_of_int (Array.fold_left ( + ) 0 dram) /. float_of_int ncores
+  in
+  (* The paper's trigger (Section 4): a core is a source when it is rarely
+     idle OR often loads from DRAM (too many objects packed into its
+     cache); receivers have idle cycles and little memory pressure. *)
+  let overloaded core =
+    busy.(core) > t.policy.Policy.overload_busy
+    || busy.(core) -. avg_busy > 0.2  (* far above the mean: queues build *)
+    || (avg_dram > 0.0
+       && float_of_int dram.(core) > 2.0 *. avg_dram
+       && dram.(core) > 1000
+       && busy.(core) > avg_busy)
+  in
+  (* Receivers: idle cores, most idle first; rotate through them. *)
+  let receivers =
+    List.filter
+      (fun c ->
+        idle.(c) > t.policy.Policy.idle_avail
+        && float_of_int dram.(c) <= avg_dram)
+      (List.init ncores Fun.id)
+    |> List.sort (fun a b -> compare idle.(b) idle.(a))
+  in
+  if receivers <> [] then begin
+    let recv = Array.of_list receivers in
+    let next_recv = ref 0 in
+    let moves_left = ref t.policy.Policy.max_moves_per_rebalance in
+    for core = 0 to ncores - 1 do
+      if overloaded core then begin
+        let objs =
+          Object_table.assigned t.table ~core
+          |> List.sort (fun a b ->
+                 compare b.Object_table.ops_period a.Object_table.ops_period)
+        in
+        let core_ops =
+          List.fold_left (fun acc o -> acc + o.Object_table.ops_period) 0 objs
+        in
+        (* Shed enough operations to bring this core back to the mean; a
+           memory-pressure source sheds at least a quarter of its load
+           even when its busy ratio is unremarkable. *)
+        let busy_shed =
+          if busy.(core) > 0.0 then
+            int_of_float
+              (ceil
+                 (float_of_int core_ops
+                 *. ((busy.(core) -. avg_busy) /. busy.(core))))
+          else 0
+        in
+        let shed = ref (max busy_shed (core_ops / 4)) in
+        List.iter
+          (fun o ->
+            if !shed > 0 && !moves_left > 0 && o.Object_table.ops_period > 0
+            then begin
+              (* Try each receiver once, starting from the rotation point. *)
+              let n = Array.length recv in
+              let rec try_receiver k =
+                if k >= n then None
+                else begin
+                  let c = recv.((!next_recv + k) mod n) in
+                  if c <> core && Object_table.fits t.table ~core:c o then
+                    Some (c, k)
+                  else try_receiver (k + 1)
+                end
+              in
+              match try_receiver 0 with
+              | None -> ()
+              | Some (c, k) ->
+                  Object_table.assign t.table o c;
+                  next_recv := (!next_recv + k + 1) mod n;
+                  shed := !shed - o.Object_table.ops_period;
+                  decr moves_left;
+                  t.stats_.moves <- t.stats_.moves + 1
+            end)
+          objs
+      end
+    done
+  end
+
+(* Section 6.2 replacement policy: when the working set exceeds on-chip
+   memory, prefer to keep the most frequently accessed objects assigned.
+   Displace an assigned object when an unassigned one saw at least twice
+   its operations this period. *)
+let displace_for_hotter t =
+  let objs = Object_table.objects t.table in
+  let unassigned_hot =
+    List.filter
+      (fun o -> o.Object_table.home = None && o.Object_table.ops_period > 0)
+      objs
+    |> List.sort (fun a b ->
+           compare b.Object_table.ops_period a.Object_table.ops_period)
+  in
+  List.iter
+    (fun hot ->
+      if not (Object_table.can_place t.table hot) then begin
+        (* find the coldest assigned victim clearly colder than [hot] *)
+        let victim =
+          List.fold_left
+            (fun acc o ->
+              if
+                o.Object_table.home <> None
+                && 2 * o.Object_table.ops_period <= hot.Object_table.ops_period
+                && o.Object_table.size >= hot.Object_table.size
+              then
+                match acc with
+                | Some v
+                  when v.Object_table.ops_period <= o.Object_table.ops_period
+                  -> acc
+                | _ -> Some o
+              else acc)
+            None objs
+        in
+        match victim with
+        | Some v ->
+            let core = Option.get v.Object_table.home in
+            Object_table.unassign t.table v;
+            if Object_table.fits t.table ~core hot then begin
+              Object_table.assign t.table hot core;
+              t.stats_.displacements <- t.stats_.displacements + 1
+            end
+        | None -> ()
+      end)
+    (match unassigned_hot with
+    | a :: b :: c :: d :: _ -> [ a; b; c; d ]  (* bounded work per period *)
+    | l -> l)
+
+(* Section 6.2 reconsideration: an object promoted before its popularity
+   was evident may be better replicated by the hardware. Un-schedule hot
+   read-only assignments; the [replicated] flag keeps promotion away. *)
+let release_hot_read_only t =
+  List.iter
+    (fun o ->
+      let open Object_table in
+      if
+        o.home <> None && o.writes = 0
+        && o.ops_period >= t.policy.Policy.replicate_min_ops
+      then begin
+        Object_table.unassign t.table o;
+        o.replicated <- true;
+        t.stats_.replications <- t.stats_.replications + 1
+      end)
+    (Object_table.objects t.table)
+
+let step t ~now =
+  let current = Machine.all_counters t.machine in
+  let deltas =
+    Array.map2 (fun c l -> Counters.diff c ~since:l) current t.last
+  in
+  let period = now - t.last_now in
+  t.stats_.periods <- t.stats_.periods + 1;
+  if demotion_pressure t then demote_stale t;
+  if t.policy.Policy.replicate_read_only then release_hot_read_only t;
+  if t.policy.Policy.evict_for_hotter then displace_for_hotter t;
+  if period > 0 then move_from_saturated t deltas period;
+  List.iter
+    (fun o -> o.Object_table.ops_period <- 0)
+    (Object_table.objects t.table);
+  t.last <- Array.map Counters.copy current;
+  t.last_now <- now

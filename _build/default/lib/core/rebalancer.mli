@@ -1,0 +1,38 @@
+(** The runtime monitor (paper Section 4, "Runtime monitoring"): reads the
+    per-core event counters each period and repairs two conditions:
+
+    - {b stale assignments}: objects untouched for
+      [demote_idle_periods] periods are removed from the table, freeing
+      cache budget (and letting plain shared-memory hardware manage them
+      again);
+    - {b saturated cores}: when a core's busy(+spin) ratio exceeds
+      [overload_busy] while other cores are idle, a portion of its
+      objects — most operated-on first — move to the idle cores' caches.
+
+    Driven by {!Coretime} through [Engine.every]; also callable directly
+    in tests. *)
+
+type stats = {
+  mutable periods : int;
+  mutable demotions : int;
+  mutable moves : int;
+  mutable displacements : int;
+      (** Cold-for-hot swaps made by the [evict_for_hotter] replacement
+          policy. *)
+  mutable replications : int;
+      (** Hot read-only assignments released to the hardware by the
+          [replicate_read_only] policy. *)
+}
+
+type t
+
+val create :
+  Policy.t -> Object_table.t -> O2_simcore.Machine.t -> t
+
+val step : t -> now:int -> unit
+(** One monitor period: compute counter deltas since the previous step,
+    demote stale objects, move objects off saturated cores, then reset
+    per-period op counts. Call [Engine.finalize_idle] first so idle-cycle
+    counters are current. *)
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Config Coretime Dir_workload Figure4 Format Harness List Machine O2_fs O2_runtime O2_sched O2_simcore O2_stats O2_workload Printf Rng Table

@@ -1,0 +1,1 @@
+lib/experiments/btree_exp.ml: Array Btree_store Config Coretime Counters Dist Format Harness Machine O2_runtime O2_simcore O2_stats O2_workload Printf Rng Table

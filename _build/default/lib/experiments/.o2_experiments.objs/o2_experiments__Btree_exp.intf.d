@@ -1,0 +1,1 @@
+lib/experiments/btree_exp.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Cache Config Coretime Dir_workload Format List Machine O2_fs O2_runtime O2_simcore O2_workload Printf String

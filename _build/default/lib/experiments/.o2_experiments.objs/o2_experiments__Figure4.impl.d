@@ -1,0 +1,1 @@
+lib/experiments/figure4.ml: Ascii_plot Coretime Dir_workload Format Harness List O2_stats O2_workload Printf Series Table

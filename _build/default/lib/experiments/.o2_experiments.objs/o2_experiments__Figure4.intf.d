@@ -1,0 +1,1 @@
+lib/experiments/figure4.mli: Format Harness O2_stats

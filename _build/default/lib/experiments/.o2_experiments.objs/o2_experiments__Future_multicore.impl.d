@@ -1,0 +1,1 @@
+lib/experiments/future_multicore.ml: Config Coretime Dir_workload Format Harness List O2_simcore O2_stats O2_workload Printf Summary Table

@@ -1,0 +1,1 @@
+lib/experiments/future_multicore.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Array Buffer Config Coretime Counters Dir_workload List Machine O2_runtime O2_simcore O2_stats O2_workload Phase Printf Series Summary

@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Coretime O2_simcore O2_stats O2_workload

@@ -1,0 +1,1 @@
+lib/experiments/latency_table.ml: Config Format List Machine Memsys O2_runtime O2_simcore O2_stats Table Topology

@@ -1,0 +1,1 @@
+lib/experiments/latency_table.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Btree_exp Fig2 Figure4 Format Future_multicore Latency_table List Option Printf String

@@ -1,0 +1,108 @@
+open O2_simcore
+open O2_workload
+open O2_stats
+
+(* Section 6.1: "On the AMD system, CoreTime improves the performance of
+   workloads whose bottleneck is reading large objects." A B+-tree lookup
+   is the opposite extreme: each operation touches a handful of lines of
+   one 4 KB leaf, so a 2000-cycle thread migration dwarfs the work being
+   moved. This experiment measures that scoping claim — and shows
+   hardware active messages (cheap operation shipping) recovering it. *)
+
+let keys n = Array.init n (fun i -> (i * 7) + 3)
+
+let run_one ~policy ~nkeys ~fanout ~warmup ~measure =
+  let machine = Machine.create Config.amd16 in
+  let engine = O2_runtime.Engine.create machine in
+  let ct = Coretime.create ~policy engine () in
+  let tree = Btree_store.create ct ~name:"idx" ~fanout () in
+  Btree_store.bulk_load tree ~keys:(keys nkeys) ~value_of:(fun k -> k lxor 0xFF);
+  let key_dist = Dist.zipf ~n:nkeys ~s:0.9 in
+  for core = 0 to O2_runtime.Engine.cores engine - 1 do
+    let rng = Rng.create ~seed:(500 + core) in
+    ignore
+      (O2_runtime.Engine.spawn engine ~core
+         ~name:(Printf.sprintf "client%d" core)
+         (fun () ->
+           while true do
+             let rank = Dist.sample key_dist rng in
+             ignore (Btree_store.lookup tree ((rank * 7) + 3));
+             O2_runtime.Api.compute 80
+           done))
+  done;
+  O2_runtime.Engine.run ~until:warmup engine;
+  let counters = Machine.all_counters machine in
+  let ops0 =
+    Array.fold_left (fun a c -> a + c.Counters.ops_completed) 0 counters
+  in
+  O2_runtime.Engine.run ~until:(warmup + measure) engine;
+  let ops =
+    Array.fold_left (fun a c -> a + c.Counters.ops_completed) 0 counters - ops0
+  in
+  let seconds = float_of_int measure /. (Config.amd16.Config.ghz *. 1e9) in
+  ( float_of_int ops /. seconds /. 1000.0,
+    (Coretime.stats ct).Coretime.op_migrations,
+    Coretime.Object_table.assigned_count (Coretime.table ct),
+    tree )
+
+let run ~quick ppf =
+  Format.fprintf ppf
+    "@.=== E14: B+-tree index lookups (fine-grained operations) ===@.@.";
+  let nkeys = if quick then 1_000_000 else 2_000_000 in
+  let fanout = 256 in
+  let warmup = Harness.scaled ~quick 80_000_000 in
+  let measure = Harness.scaled ~quick 40_000_000 in
+  (* a leaf search touches ~10 lines, so "expensive to fetch" means a few
+     misses per operation, not the directory benchmark's dozens *)
+  let tuned =
+    { Coretime.Policy.default with Coretime.Policy.promote_threshold = 3.0 }
+  in
+  let kres, _, _, tree =
+    run_one ~policy:Coretime.Policy.baseline ~nkeys ~fanout ~warmup ~measure
+  in
+  Format.fprintf ppf
+    "index: %d keys, fanout %d, %d nodes (%d leaves, height %d), %d MB \
+     against 16 MB of cache; zipf(0.9) keys@.@."
+    (Btree_store.key_count tree)
+    fanout
+    (Btree_store.node_count tree)
+    (Btree_store.leaf_count tree)
+    (Btree_store.height tree)
+    (Btree_store.mem_bytes tree / 1024 / 1024);
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("policy", Table.Left);
+          ("lookups (k/s)", Table.Right);
+          ("migrations", Table.Right);
+          ("leaves scheduled", Table.Right);
+        ]
+  in
+  let add name (kres, migs, assigned) =
+    Table.add_row t
+      [
+        name;
+        Printf.sprintf "%.0f" kres;
+        string_of_int migs;
+        string_of_int assigned;
+      ]
+  in
+  add "hardware-managed (baseline)" (kres, 0, 0);
+  let p_kres, p_migs, p_assigned, _ =
+    run_one ~policy:tuned ~nkeys ~fanout ~warmup ~measure
+  in
+  add "CoreTime, thread migration" (p_kres, p_migs, p_assigned);
+  let s_kres, s_migs, s_assigned, _ =
+    run_one
+      ~policy:{ tuned with Coretime.Policy.op_shipping = true }
+      ~nkeys ~fanout ~warmup ~measure
+  in
+  add "CoreTime, active messages" (s_kres, s_migs, s_assigned);
+  Format.pp_print_string ppf (Table.render t);
+  Format.fprintf ppf
+    "each lookup reads a few lines of one leaf — far less than a \
+     2000-cycle thread migration moves, so classic CoreTime loses badly \
+     here (the Section 6.1 scoping claim, measured); shipping operations \
+     by active message (~%d cycles) recovers it.@."
+    (Config.amsg_cycles Config.amd16)

@@ -1,0 +1,11 @@
+(** E14 — a second workload: point lookups in a B+-tree index larger than
+    any single cache (the index-server shape of the paper's introduction).
+
+    Exercises two CoreTime behaviours the directory benchmark cannot:
+    the root and upper internal nodes are {e scorching-hot read-only}
+    objects (every lookup touches them), so scheduling them onto one core
+    serialises the machine — the replicate-read-only policy (Section 6.2)
+    must leave them to the hardware; and leaves are small objects packed
+    many-per-core. *)
+
+val run : quick:bool -> Format.formatter -> unit

@@ -1,0 +1,115 @@
+open O2_workload
+open O2_stats
+
+type row = {
+  kb : int;
+  dirs : int;
+  without_ct : Harness.point;
+  with_ct : Harness.point;
+}
+
+let oscillation_default = { Harness.period = 10_000_000; divisor = 16 }
+
+let sweep ?(progress = fun _ -> ()) ~quick ~oscillation () =
+  (* oscillating runs measure longer so whole phase cycles average out *)
+  let horizon_scale = match oscillation with None -> 2 | Some _ -> 3 in
+  let run_point policy kb =
+    let spec = Dir_workload.spec_for_data_kb ~kb () in
+    (* Warming a working set out of DRAM (and letting promotion and the
+       monitor converge) takes time proportional to its size. *)
+    let warmup = Harness.scaled ~quick (40_000_000 + (kb * 2500)) in
+    Harness.run
+      (Harness.setup ~policy ~warmup
+         ~measure:(Harness.scaled ~quick (20_000_000 * horizon_scale))
+         ?oscillation spec)
+  in
+  List.map
+    (fun kb ->
+      let spec = Dir_workload.spec_for_data_kb ~kb () in
+      progress
+        (Printf.sprintf "  running %d KB (%d dirs)..." kb
+           spec.Dir_workload.dirs);
+      let without_ct = run_point Coretime.Policy.baseline kb in
+      let with_ct = run_point Coretime.Policy.default kb in
+      { kb; dirs = spec.Dir_workload.dirs; without_ct; with_ct })
+    (Harness.kb_ladder ~quick)
+
+let to_series rows =
+  let mk label f =
+    Series.make ~label
+      (List.map (fun r -> (float_of_int r.kb, (f r).Harness.kres_per_sec)) rows)
+  in
+  (mk "with CoreTime" (fun r -> r.with_ct), mk "without CoreTime" (fun r -> r.without_ct))
+
+let print_rows ppf rows =
+  let open O2_stats in
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("data (KB)", Table.Right);
+          ("dirs", Table.Right);
+          ("without CT (kres/s)", Table.Right);
+          ("with CT (kres/s)", Table.Right);
+          ("speedup", Table.Right);
+          ("dram w/o", Table.Right);
+          ("dram w/", Table.Right);
+          ("migrations", Table.Right);
+          ("moves", Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      let sp =
+        if r.without_ct.Harness.kres_per_sec > 0.0 then
+          r.with_ct.Harness.kres_per_sec /. r.without_ct.Harness.kres_per_sec
+        else nan
+      in
+      Table.add_row t
+        [
+          string_of_int r.kb;
+          string_of_int r.dirs;
+          Printf.sprintf "%.0f" r.without_ct.Harness.kres_per_sec;
+          Printf.sprintf "%.0f" r.with_ct.Harness.kres_per_sec;
+          Printf.sprintf "%.2fx" sp;
+          string_of_int r.without_ct.Harness.dram_loads;
+          string_of_int r.with_ct.Harness.dram_loads;
+          string_of_int r.with_ct.Harness.op_migrations;
+          string_of_int r.with_ct.Harness.rebalancer_moves;
+        ])
+    rows;
+  Format.pp_print_string ppf (Table.render t)
+
+let print_figure ppf ~title rows =
+  Format.fprintf ppf "@.=== %s ===@.@." title;
+  print_rows ppf rows;
+  let with_ct, without_ct = to_series rows in
+  Format.pp_print_newline ppf ();
+  Format.pp_print_string ppf
+    (Ascii_plot.render
+       ~x_label:"Total data size (Kilobytes)"
+       ~y_label:"1000s of resolutions per second"
+       [ with_ct; without_ct ]);
+  Format.pp_print_newline ppf ();
+  Format.pp_print_string ppf (Harness.ratio_summary ~with_ct ~without_ct);
+  Format.pp_print_newline ppf ()
+
+let progress_to_stderr line =
+  prerr_endline line
+
+let fig4a ?(quick = false) ppf =
+  let rows = sweep ~progress:progress_to_stderr ~quick ~oscillation:None () in
+  print_figure ppf
+    ~title:
+      "Figure 4(a): file system results, uniform directory popularity"
+    rows
+
+let fig4b ?(quick = false) ppf =
+  let rows =
+    sweep ~progress:progress_to_stderr ~quick
+      ~oscillation:(Some oscillation_default) ()
+  in
+  print_figure ppf
+    ~title:
+      "Figure 4(b): file system results, oscillating directory popularity"
+    rows

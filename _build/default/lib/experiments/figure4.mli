@@ -1,0 +1,33 @@
+(** The paper's headline evaluation (Section 5, Figure 4): throughput of
+    the file-system name-resolution benchmark, with and without CoreTime,
+    as total directory data sweeps past the machine's cache capacities.
+
+    {!fig4a} is the uniform-popularity sweep; {!fig4b} oscillates the
+    number of directories accessed between the full set and a sixteenth of
+    it, exercising the rebalancer. *)
+
+type row = {
+  kb : int;
+  dirs : int;
+  without_ct : Harness.point;
+  with_ct : Harness.point;
+}
+
+val sweep :
+  ?progress:(string -> unit) ->
+  quick:bool ->
+  oscillation:Harness.oscillation option ->
+  unit ->
+  row list
+
+val to_series : row list -> O2_stats.Series.t * O2_stats.Series.t
+(** (with CoreTime, without CoreTime). *)
+
+val print_rows : Format.formatter -> row list -> unit
+val print_figure : Format.formatter -> title:string -> row list -> unit
+(** Table + ASCII rendering of the figure + the Section 5 shape claims. *)
+
+val fig4a : ?quick:bool -> Format.formatter -> unit
+val fig4b : ?quick:bool -> Format.formatter -> unit
+
+val oscillation_default : Harness.oscillation

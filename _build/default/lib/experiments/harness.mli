@@ -1,0 +1,61 @@
+(** Shared machinery for the paper's experiments: build a machine, run the
+    directory workload under a policy, and report steady-state throughput
+    in thousands of name resolutions per second (the y-axis of Figure 4). *)
+
+type oscillation = { period : int; divisor : int }
+(** Flip the active directory set between full and [full / divisor] every
+    [period] cycles (Figure 4(b)). *)
+
+type point = {
+  data_kb : int;  (** Total directory-content size (x-axis). *)
+  kres_per_sec : float;  (** Steady-state resolutions/s, in thousands. *)
+  ops : int;  (** Resolutions completed in the measured window. *)
+  promotions : int;
+  op_migrations : int;
+  rebalancer_moves : int;
+  rebalancer_demotions : int;
+  dram_loads : int;  (** During the measured window. *)
+  remote_hits : int;
+  spin_cycles : int;
+  avg_busy : float;  (** Mean per-core busy(+spin) ratio in the window. *)
+}
+
+type setup = {
+  cfg : O2_simcore.Config.t;
+  policy : Coretime.Policy.t;
+  spec : O2_workload.Dir_workload.spec;
+  warmup : int;  (** Cycles before the measured window. *)
+  measure : int;  (** Cycles measured. *)
+  oscillation : oscillation option;
+  threads_per_core : int;
+  placement : int array option;
+      (** Explicit thread placement (defaults to one worker per core). *)
+}
+
+val setup :
+  ?cfg:O2_simcore.Config.t ->
+  ?policy:Coretime.Policy.t ->
+  ?warmup:int ->
+  ?measure:int ->
+  ?oscillation:oscillation ->
+  ?threads_per_core:int ->
+  ?placement:int array ->
+  O2_workload.Dir_workload.spec ->
+  setup
+(** Defaults: {!O2_simcore.Config.amd16}, {!Coretime.Policy.default},
+    40 M cycles warmup, 40 M measured, no oscillation, 1 thread/core. *)
+
+val run : setup -> point
+(** Build everything, warm up, measure, and tear down. Deterministic in
+    the spec's seed. *)
+
+val scaled : quick:bool -> int -> int
+(** Scale a cycle horizon down (x1/4) in quick mode. *)
+
+val kb_ladder : quick:bool -> int list
+(** The Figure 4 x-axis: 256 KB .. 20 MB (fewer points when [quick]). *)
+
+val ratio_summary :
+  with_ct:O2_stats.Series.t -> without_ct:O2_stats.Series.t -> string
+(** Human-readable comparison: speedup in the beyond-L3 region, parity
+    region, crossover points — the claims Section 5 makes about Figure 4. *)

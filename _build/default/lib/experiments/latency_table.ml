@@ -1,0 +1,142 @@
+open O2_simcore
+
+type probe = {
+  label : string;
+  paper_cycles : int option;
+  measured_cycles : int;
+}
+
+(* One measured load on core 0 of a line previously placed at a chosen
+   location. A fresh machine per probe keeps state exact. *)
+let measure_read ~place =
+  let machine = Machine.create Config.amd16 in
+  let mem = Machine.memory machine in
+  let ext = Memsys.alloc mem ~name:"probe" ~size:64 in
+  let addr = ext.Memsys.base in
+  place machine ~addr;
+  Machine.read machine ~core:0 ~now:0 ~addr ~len:8
+
+(* An uncached load from a DRAM bank the requested number of hops away
+   from core 0's chip (pages interleave across banks, so hunt for one). *)
+let measure_dram ~hops_wanted =
+  let machine = Machine.create Config.amd16 in
+  let mem = Machine.memory machine in
+  let topo = Machine.topology machine in
+  let rec hunt () =
+    let ext = Memsys.alloc mem ~name:"probe" ~size:64 in
+    let addr = ext.Memsys.base in
+    if Topology.hops topo 0 (Topology.home_chip topo ~addr) = hops_wanted then
+      addr
+    else hunt ()
+  in
+  let addr = hunt () in
+  Machine.read machine ~core:0 ~now:0 ~addr ~len:8
+
+let probes () =
+  [
+      {
+        label = "L1 hit";
+        paper_cycles = Some 3;
+        measured_cycles =
+          measure_read ~place:(fun m ~addr ->
+              Machine.place m ~core:0 ~addr ~l1:true ~l2:true ~l3:false);
+      };
+      {
+        label = "L2 hit";
+        paper_cycles = Some 14;
+        measured_cycles =
+          measure_read ~place:(fun m ~addr ->
+              Machine.place m ~core:0 ~addr ~l1:false ~l2:true ~l3:false);
+      };
+      {
+        label = "L3 hit (same chip)";
+        paper_cycles = Some 75;
+        measured_cycles =
+          measure_read ~place:(fun m ~addr ->
+              Machine.place m ~core:0 ~addr ~l1:false ~l2:false ~l3:true);
+      };
+      {
+        label = "remote cache, same chip";
+        paper_cycles = Some 127;
+        measured_cycles =
+          measure_read ~place:(fun m ~addr ->
+              Machine.place m ~core:1 ~addr ~l1:false ~l2:true ~l3:false);
+      };
+      {
+        label = "remote cache, 1 hop";
+        paper_cycles = None;
+        measured_cycles =
+          measure_read ~place:(fun m ~addr ->
+              (* core on an adjacent chip *)
+              Machine.place m ~core:4 ~addr ~l1:false ~l2:true ~l3:false);
+      };
+      {
+        label = "remote cache, 2 hops";
+        paper_cycles = None;
+        measured_cycles =
+          measure_read ~place:(fun m ~addr ->
+              Machine.place m ~core:12 ~addr ~l1:false ~l2:true ~l3:false);
+      };
+      {
+        label = "DRAM, local bank";
+        paper_cycles = None;
+        measured_cycles = measure_dram ~hops_wanted:0;
+      };
+      {
+        label = "DRAM, most distant bank";
+        paper_cycles = Some 336;
+        measured_cycles = measure_dram ~hops_wanted:2;
+      };
+    ]
+
+let migration_probe () =
+  let machine = Machine.create Config.amd16 in
+  let engine = O2_runtime.Engine.create machine in
+  let cost = ref 0 in
+  ignore
+    (O2_runtime.Engine.spawn engine ~core:0 ~name:"migration-probe" (fun () ->
+         let t0 = O2_runtime.Api.now () in
+         O2_runtime.Api.migrate_to 1;
+         let t1 = O2_runtime.Api.now () in
+         cost := t1 - t0));
+  O2_runtime.Engine.run engine;
+  { label = "thread migration"; paper_cycles = Some 2000; measured_cycles = !cost }
+
+let all () = probes () @ [ migration_probe () ]
+
+let print ppf =
+  let open O2_stats in
+  Format.fprintf ppf
+    "@.=== Section 5 hardware latencies: paper vs simulated machine ===@.@.";
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("access", Table.Left);
+          ("paper (cycles)", Table.Right);
+          ("measured (cycles)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          p.label;
+          (match p.paper_cycles with Some c -> string_of_int c | None -> "-");
+          string_of_int p.measured_cycles;
+        ])
+    (all ());
+  Format.pp_print_string ppf (Table.render t)
+
+let max_deviation () =
+  List.fold_left
+    (fun acc p ->
+      match p.paper_cycles with
+      | Some paper when paper > 0 ->
+          let d =
+            abs_float
+              (float_of_int (p.measured_cycles - paper) /. float_of_int paper)
+          in
+          max acc d
+      | Some _ | None -> acc)
+    0.0 (all ())

@@ -1,0 +1,20 @@
+(** The experiment catalogue: every paper figure/table plus the ablations,
+    addressable by id from the benchmark harness and the CLI. *)
+
+type exp = {
+  id : string;
+  title : string;
+  paper_ref : string;  (** Where in the paper this comes from. *)
+  default_set : bool;  (** Run when no ids are given (the paper's own
+                           figures and tables). *)
+  run : quick:bool -> Format.formatter -> unit;
+}
+
+val all : exp list
+val find : string -> exp option
+val ids : unit -> string list
+
+val run_ids :
+  quick:bool -> Format.formatter -> string list -> (unit, string) result
+(** Run the named experiments in catalogue order ([Error] lists unknown
+    ids without running anything). An empty list runs the default set. *)

@@ -1,0 +1,1 @@
+lib/fs/fat.ml: Fat_dir Fat_image Fat_name Fat_types Hashtbl List O2_runtime O2_simcore Option Printf String

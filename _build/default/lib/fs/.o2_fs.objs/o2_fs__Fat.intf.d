@@ -1,0 +1,1 @@
+lib/fs/fat.mli: Fat_image Fat_types O2_runtime O2_simcore

@@ -1,0 +1,1 @@
+lib/fs/fat_check.ml: Bytes Char Fat Fat_dir Fat_image Fat_name Fat_types Format Hashtbl List String

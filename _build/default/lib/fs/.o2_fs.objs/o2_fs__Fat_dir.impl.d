@@ -1,0 +1,1 @@
+lib/fs/fat_dir.ml: Api Bytes Fat_image Fat_types List O2_runtime Printf

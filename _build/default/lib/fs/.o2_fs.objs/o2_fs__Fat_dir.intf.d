@@ -1,0 +1,1 @@
+lib/fs/fat_dir.mli: Fat_image Fat_types

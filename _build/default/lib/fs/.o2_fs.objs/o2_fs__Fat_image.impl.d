@@ -1,0 +1,1 @@
+lib/fs/fat_image.ml: Bytes Fat_types List O2_simcore Printf String

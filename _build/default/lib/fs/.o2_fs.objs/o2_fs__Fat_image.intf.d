@@ -1,0 +1,1 @@
+lib/fs/fat_image.mli: Bytes O2_simcore

@@ -1,0 +1,1 @@
+lib/fs/fat_types.ml: Bytes Char Format String

@@ -1,0 +1,1 @@
+lib/fs/fat_types.mli: Format

@@ -1,0 +1,205 @@
+let entries_per_cluster img =
+  Fat_image.cluster_bytes img / Fat_types.entry_bytes
+
+(* Scan one cluster host-side. Returns how many slots were examined and
+   what stopped the scan. *)
+type cluster_scan =
+  | Found of Fat_types.entry * int  (* slots examined including the hit *)
+  | End_of_dir of int  (* slots examined including the end marker *)
+  | Cluster_done
+
+let scan_cluster img cluster ~name83 =
+  let buf = Fat_image.buf img in
+  let base = Fat_image.cluster_off img cluster in
+  let per = entries_per_cluster img in
+  let rec go i =
+    if i >= per then Cluster_done
+    else begin
+      let off = base + (i * Fat_types.entry_bytes) in
+      if Fat_types.is_end buf ~off then End_of_dir (i + 1)
+      else if Fat_types.is_deleted buf ~off then go (i + 1)
+      else begin
+        let e = Fat_types.decode_entry buf ~off in
+        if e.Fat_types.name = name83 then Found (e, i + 1) else go (i + 1)
+      end
+    end
+  in
+  go 0
+
+let find img ~head ~name83 =
+  let rec walk = function
+    | [] -> None
+    | cluster :: rest -> (
+        match scan_cluster img cluster ~name83 with
+        | Found (e, _) -> Some e
+        | End_of_dir _ -> None
+        | Cluster_done -> walk rest)
+  in
+  walk (Fat_image.chain img head)
+
+let lookup_sim img ~head ~name83 ~compare_cycles =
+  let open O2_runtime in
+  let per = entries_per_cluster img in
+  let charge cluster slots =
+    ignore
+      (Api.read
+         ~addr:(Fat_image.cluster_addr img cluster)
+         ~len:(slots * Fat_types.entry_bytes));
+    Api.compute (slots * compare_cycles)
+  in
+  let rec walk = function
+    | [] -> None
+    | cluster :: rest -> (
+        match scan_cluster img cluster ~name83 with
+        | Found (e, slots) ->
+            charge cluster slots;
+            Some e
+        | End_of_dir slots ->
+            charge cluster slots;
+            None
+        | Cluster_done ->
+            charge cluster per;
+            if rest <> [] then
+              (* Moving to the next cluster reads this one's FAT cell. *)
+              ignore
+                (Api.read ~addr:(Fat_image.fat_entry_addr img cluster) ~len:2);
+            walk rest)
+  in
+  walk (Fat_image.chain img head)
+
+let zero_cluster img cluster =
+  Bytes.fill (Fat_image.buf img)
+    (Fat_image.cluster_off img cluster)
+    (Fat_image.cluster_bytes img) '\x00'
+
+let add img ~head entry =
+  if find img ~head ~name83:entry.Fat_types.name <> None then
+    Error (Printf.sprintf "duplicate entry %S" entry.Fat_types.name)
+  else begin
+    let buf = Fat_image.buf img in
+    let per = entries_per_cluster img in
+    let write_at cluster slot =
+      Fat_types.encode_entry entry buf
+        ~off:(Fat_image.cluster_off img cluster + (slot * Fat_types.entry_bytes));
+      Ok ()
+    in
+    (* First free slot: a deleted entry or the end marker. Writing over the
+       end marker is safe because the rest of the cluster is zero. *)
+    let rec scan_chain = function
+      | [] -> assert false
+      | [ last ] -> (
+          match free_slot last with
+          | Some slot -> write_at last slot
+          | None -> (
+              match Fat_image.alloc_cluster img ~prev:(Some last) with
+              | None -> Error "volume full"
+              | Some fresh ->
+                  zero_cluster img fresh;
+                  write_at fresh 0))
+      | cluster :: rest -> (
+          match free_slot cluster with
+          | Some slot -> write_at cluster slot
+          | None -> scan_chain rest)
+    and free_slot cluster =
+      let base = Fat_image.cluster_off img cluster in
+      let rec go i =
+        if i >= per then None
+        else begin
+          let off = base + (i * Fat_types.entry_bytes) in
+          if Fat_types.is_end buf ~off || Fat_types.is_deleted buf ~off then
+            Some i
+          else go (i + 1)
+        end
+      in
+      go 0
+    in
+    scan_chain (Fat_image.chain img head)
+  end
+
+let append_bulk img ~head entries =
+  let buf = Fat_image.buf img in
+  let per = entries_per_cluster img in
+  (* Find the append point: last cluster of the chain and the index of its
+     end marker (or the cluster's end). *)
+  let chain = Fat_image.chain img head in
+  let rec find_tail = function
+    | [] -> assert false
+    | [ last ] ->
+        let base = Fat_image.cluster_off img last in
+        let rec slot i =
+          if i >= per then (last, per)
+          else if Fat_types.is_end buf ~off:(base + (i * Fat_types.entry_bytes))
+          then (last, i)
+          else slot (i + 1)
+        in
+        slot 0
+    | _ :: rest -> find_tail rest
+  in
+  let cluster, slot = find_tail chain in
+  let rec go cluster slot = function
+    | [] -> Ok ()
+    | entry :: rest ->
+        if slot >= per then begin
+          match Fat_image.alloc_cluster img ~prev:(Some cluster) with
+          | None -> Error "volume full"
+          | Some fresh ->
+              zero_cluster img fresh;
+              go fresh 0 (entry :: rest)
+        end
+        else begin
+          Fat_types.encode_entry entry buf
+            ~off:
+              (Fat_image.cluster_off img cluster
+              + (slot * Fat_types.entry_bytes));
+          go cluster (slot + 1) rest
+        end
+  in
+  go cluster slot entries
+
+let remove img ~head ~name83 =
+  let buf = Fat_image.buf img in
+  let per = entries_per_cluster img in
+  let rec walk = function
+    | [] -> false
+    | cluster :: rest ->
+        let base = Fat_image.cluster_off img cluster in
+        let rec go i =
+          if i >= per then walk rest
+          else begin
+            let off = base + (i * Fat_types.entry_bytes) in
+            if Fat_types.is_end buf ~off then false
+            else if
+              (not (Fat_types.is_deleted buf ~off))
+              && (Fat_types.decode_entry buf ~off).Fat_types.name = name83
+            then begin
+              Bytes.set buf off Fat_types.deleted_marker;
+              true
+            end
+            else go (i + 1)
+          end
+        in
+        go 0
+  in
+  walk (Fat_image.chain img head)
+
+let list img ~head =
+  let buf = Fat_image.buf img in
+  let per = entries_per_cluster img in
+  let rec walk acc = function
+    | [] -> List.rev acc
+    | cluster :: rest ->
+        let base = Fat_image.cluster_off img cluster in
+        let rec go acc i =
+          if i >= per then walk acc rest
+          else begin
+            let off = base + (i * Fat_types.entry_bytes) in
+            if Fat_types.is_end buf ~off then List.rev acc
+            else if Fat_types.is_deleted buf ~off then go acc (i + 1)
+            else go (Fat_types.decode_entry buf ~off :: acc) (i + 1)
+          end
+        in
+        go acc 0
+  in
+  walk [] (Fat_image.chain img head)
+
+let count img ~head = List.length (list img ~head)

@@ -1,0 +1,17 @@
+(** 8.3 short-name handling: conversion between user names like
+    ["file0042.txt"] and the 11-byte space-padded uppercase form stored in
+    directory entries (["FILE0042TXT"]). *)
+
+val to_83 : string -> (string, string) result
+(** Encode; [Error] explains why the name is not a valid 8.3 name
+    (empty, too long, bad characters, multiple dots...). *)
+
+val to_83_exn : string -> string
+val of_83 : string -> string
+(** Decode a padded 11-byte form back to ["name.ext"] (lowercased). *)
+
+val equal : string -> string -> bool
+(** Case-insensitive comparison of two user names via their 8.3 forms;
+    false if either is invalid. *)
+
+val valid : string -> bool

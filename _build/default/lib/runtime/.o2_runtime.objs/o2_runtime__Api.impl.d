@@ -1,0 +1,1 @@
+lib/runtime/api.ml: Effect Spinlock Thread

@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Api Array Config Counters Effect Event_queue Machine O2_simcore Printf Queue Spinlock Thread

@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: O2_simcore Thread

@@ -1,0 +1,1 @@
+lib/runtime/event_queue.ml: Array

@@ -1,0 +1,1 @@
+lib/runtime/spinlock.ml: Format O2_simcore Queue Thread

@@ -1,0 +1,1 @@
+lib/runtime/spinlock.mli: Format O2_simcore Queue Thread

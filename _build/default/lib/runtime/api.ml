@@ -1,0 +1,23 @@
+type _ Effect.t +=
+  | Read : { addr : int; len : int } -> int Effect.t
+  | Write : { addr : int; len : int } -> int Effect.t
+  | Compute : int -> unit Effect.t
+  | Lock_acquire : Spinlock.t -> unit Effect.t
+  | Lock_release : Spinlock.t -> unit Effect.t
+  | Migrate_to : int -> unit Effect.t
+  | Ship_to : int -> unit Effect.t
+  | Yield : unit Effect.t
+  | Self : Thread.t Effect.t
+  | Now : int Effect.t
+
+let read ~addr ~len = Effect.perform (Read { addr; len })
+let write ~addr ~len = Effect.perform (Write { addr; len })
+let compute cycles = if cycles > 0 then Effect.perform (Compute cycles)
+let lock l = Effect.perform (Lock_acquire l)
+let unlock l = Effect.perform (Lock_release l)
+let migrate_to core = Effect.perform (Migrate_to core)
+let ship_to core = Effect.perform (Ship_to core)
+let yield () = Effect.perform Yield
+let self () = Effect.perform Self
+let current_core () = (self ()).Thread.core
+let now () = Effect.perform Now

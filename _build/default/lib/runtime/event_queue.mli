@@ -1,0 +1,23 @@
+(** A minimum priority queue of timestamped events.
+
+    Ties on time are broken by insertion order (FIFO), which makes the
+    whole simulation deterministic: two events scheduled for the same cycle
+    always fire in the order they were scheduled. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:int -> 'a -> unit
+(** @raise Invalid_argument if [time < 0]. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest event as [(time, payload)]. *)
+
+val peek_time : 'a t -> int option
+val clear : 'a t -> unit
+
+val check_heap_property : 'a t -> bool
+(** For the property tests. *)

@@ -1,0 +1,23 @@
+type state = Runnable | Spinning | Migrating | Finished
+
+type t = {
+  id : int;
+  name : string;
+  origin_core : int;
+  mutable core : int;
+  mutable state : state;
+  mutable migrations : int;
+}
+
+let make ~id ~name ~core =
+  { id; name; origin_core = core; core; state = Runnable; migrations = 0 }
+
+let state_to_string = function
+  | Runnable -> "runnable"
+  | Spinning -> "spinning"
+  | Migrating -> "migrating"
+  | Finished -> "finished"
+
+let pp ppf t =
+  Format.fprintf ppf "thread %d (%s) on core %d [%s, %d migrations]" t.id
+    t.name t.core (state_to_string t.state) t.migrations

@@ -1,0 +1,1 @@
+lib/sched/clustered_sched.ml: Array List

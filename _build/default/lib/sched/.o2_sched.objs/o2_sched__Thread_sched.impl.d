@@ -1,0 +1,1 @@
+lib/sched/thread_sched.ml: Array

@@ -1,0 +1,69 @@
+let name = "thread-clustering"
+
+(* Greedy agglomerative grouping: visit thread pairs in decreasing
+   similarity; join a pair when one side is grouped and the other is not
+   (or seed a new group), subject to balanced group capacity. Leftover
+   threads fill the emptiest groups. *)
+let clusters ~threads ~groups ~similarity =
+  if threads < 0 || groups <= 0 then invalid_arg "Clustered_sched.clusters";
+  let cluster_of = Array.make threads (-1) in
+  let cap = (threads + groups - 1) / groups in
+  let count = Array.make groups 0 in
+  let next_group = ref 0 in
+  let pairs = ref [] in
+  for a = 0 to threads - 1 do
+    for b = a + 1 to threads - 1 do
+      pairs := (similarity a b, a, b) :: !pairs
+    done
+  done;
+  let pairs =
+    List.stable_sort
+      (fun (s1, a1, b1) (s2, a2, b2) ->
+        if s1 <> s2 then compare s2 s1 else compare (a1, b1) (a2, b2))
+      !pairs
+  in
+  let place thread group =
+    if count.(group) < cap then begin
+      cluster_of.(thread) <- group;
+      count.(group) <- count.(group) + 1;
+      true
+    end
+    else false
+  in
+  List.iter
+    (fun (_, a, b) ->
+      match (cluster_of.(a), cluster_of.(b)) with
+      | -1, -1 ->
+          if !next_group < groups then begin
+            let g = !next_group in
+            incr next_group;
+            if place a g then ignore (place b g)
+          end
+      | g, -1 -> ignore (place b g)
+      | -1, g -> ignore (place a g)
+      | _, _ -> ())
+    pairs;
+  Array.iteri
+    (fun i g ->
+      if g = -1 then begin
+        (* emptiest group takes the orphan *)
+        let best = ref 0 in
+        Array.iteri (fun j c -> if c < count.(!best) then best := j) count;
+        cluster_of.(i) <- !best;
+        count.(!best) <- count.(!best) + 1
+      end)
+    cluster_of;
+  cluster_of
+
+let assign ~threads ~cores ~cores_per_chip ~similarity =
+  if cores <= 0 || cores_per_chip <= 0 then invalid_arg "Clustered_sched.assign";
+  let chips = max 1 (cores / cores_per_chip) in
+  let cluster_of = clusters ~threads ~groups:chips ~similarity in
+  (* Within a chip, spread a cluster's threads across its cores. *)
+  let next_slot = Array.make chips 0 in
+  Array.map
+    (fun chip ->
+      let slot = next_slot.(chip) in
+      next_slot.(chip) <- slot + 1;
+      (chip * cores_per_chip) + (slot mod cores_per_chip))
+    cluster_of

@@ -1,0 +1,22 @@
+(** Thread-placement strategies — the traditional side of the comparison.
+
+    A placement maps each thread to the core it should run on, given how
+    similar the threads' working sets are. This is the whole design space
+    of the schedulers in the paper's Section 7 (thread clustering and
+    friends): they choose where {e threads} go and let the caches follow,
+    whereas the O2 scheduler chooses where {e objects} go and moves the
+    threads. *)
+
+module type PLACEMENT = sig
+  val name : string
+
+  val assign :
+    threads:int ->
+    cores:int ->
+    cores_per_chip:int ->
+    similarity:(int -> int -> float) ->
+    int array
+  (** [assign ~threads ~cores ~cores_per_chip ~similarity] returns, for
+      each thread, the core it is placed on. [similarity a b] is in
+      [0, 1]: how much of threads [a] and [b]'s working sets overlap. *)
+end

@@ -1,0 +1,5 @@
+let name = "thread-round-robin"
+
+let assign ~threads ~cores ~cores_per_chip:_ ~similarity:_ =
+  if threads < 0 || cores <= 0 then invalid_arg "Thread_sched.assign";
+  Array.init threads (fun i -> i mod cores)

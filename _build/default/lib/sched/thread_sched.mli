@@ -1,0 +1,5 @@
+(** The traditional scheduler: keep every core busy with a thread;
+    round-robin placement, ignoring working sets. This is the paper's
+    "without CoreTime" configuration. *)
+
+include Sched_intf.PLACEMENT

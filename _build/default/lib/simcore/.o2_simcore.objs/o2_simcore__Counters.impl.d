@@ -1,0 +1,1 @@
+lib/simcore/counters.ml: Array Format

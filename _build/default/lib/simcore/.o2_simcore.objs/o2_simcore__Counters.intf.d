@@ -1,0 +1,1 @@
+lib/simcore/counters.mli: Format

@@ -1,0 +1,1 @@
+lib/simcore/dram.ml: Array Config Topology

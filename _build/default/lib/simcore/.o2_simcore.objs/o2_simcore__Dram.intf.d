@@ -1,0 +1,1 @@
+lib/simcore/dram.mli: Config Topology

@@ -1,0 +1,1 @@
+lib/simcore/lru.ml: Array Hashtbl List

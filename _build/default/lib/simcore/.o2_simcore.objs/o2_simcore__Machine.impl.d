@@ -1,0 +1,1 @@
+lib/simcore/machine.ml: Array Cache Config Counters Dram Format Hashtbl List Memsys Option Presence Topology

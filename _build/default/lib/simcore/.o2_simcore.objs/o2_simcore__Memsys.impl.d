@@ -1,0 +1,1 @@
+lib/simcore/memsys.ml: Array Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/simcore/topology.ml: Config Format

@@ -1,0 +1,61 @@
+type level = L1 | L2 | L3
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable fills : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+type t = { level : level; owner : int; lru : Lru.t; stats : stats }
+
+let create level ~owner ~cap_bytes ~line_bytes =
+  if cap_bytes < line_bytes then
+    invalid_arg "Cache.create: capacity smaller than one line";
+  {
+    level;
+    owner;
+    lru = Lru.create ~cap:(cap_bytes / line_bytes);
+    stats = { hits = 0; misses = 0; fills = 0; evictions = 0; invalidations = 0 };
+  }
+
+let level t = t.level
+let owner t = t.owner
+let capacity_lines t = Lru.capacity t.lru
+let resident_lines t = Lru.length t.lru
+let stats t = t.stats
+
+let probe t line =
+  if Lru.touch t.lru line then (
+    t.stats.hits <- t.stats.hits + 1;
+    true)
+  else (
+    t.stats.misses <- t.stats.misses + 1;
+    false)
+
+let contains t line = Lru.mem t.lru line
+
+let fill t line =
+  t.stats.fills <- t.stats.fills + 1;
+  let victim = Lru.add t.lru line in
+  (match victim with
+  | Some _ -> t.stats.evictions <- t.stats.evictions + 1
+  | None -> ());
+  victim
+
+let invalidate t line =
+  let present = Lru.remove t.lru line in
+  if present then t.stats.invalidations <- t.stats.invalidations + 1;
+  present
+
+let drop t line = Lru.remove t.lru line
+let iter_lines f t = Lru.iter f t.lru
+let clear t = Lru.clear t.lru
+
+let level_to_string = function L1 -> "L1" | L2 -> "L2" | L3 -> "L3"
+
+let name t =
+  Printf.sprintf "%s[%s%d]" (level_to_string t.level)
+    (match t.level with L3 -> "chip" | L1 | L2 -> "core")
+    t.owner

@@ -1,0 +1,48 @@
+(** One cache array (an L1, an L2 or an L3): an LRU set of lines plus hit /
+    miss / eviction statistics. Placement and coherence live in {!Machine};
+    this module only answers "is line [l] here?" and maintains recency. *)
+
+type level = L1 | L2 | L3
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable fills : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+type t
+
+val create : level -> owner:int -> cap_bytes:int -> line_bytes:int -> t
+(** [owner] is a core id for L1/L2 and a chip id for L3. *)
+
+val level : t -> level
+val owner : t -> int
+val capacity_lines : t -> int
+val resident_lines : t -> int
+val stats : t -> stats
+
+val probe : t -> int -> bool
+(** [probe t line] is a lookup for the access path: touches the line and
+    records a hit or a miss. *)
+
+val contains : t -> int -> bool
+(** Membership without touching recency or stats (for assertions and
+    snapshots). *)
+
+val fill : t -> int -> int option
+(** Insert a line after a miss; returns the evicted victim line, if any. *)
+
+val invalidate : t -> int -> bool
+(** Coherence removal; returns whether the line was present. *)
+
+val drop : t -> int -> bool
+(** Silent removal (inclusion maintenance), not counted as an
+    invalidation. *)
+
+val iter_lines : (int -> unit) -> t -> unit
+val clear : t -> unit
+val level_to_string : level -> string
+val name : t -> string
+(** e.g. ["L2[core3]"] or ["L3[chip1]"]. *)

@@ -1,0 +1,209 @@
+(* Array-based LRU: slots hold keys doubly linked through [prev]/[next]
+   index arrays (slot [cap] is the list sentinel), and an open-addressing
+   linear-probe table maps key -> slot. No allocation on any operation, so
+   the cache simulator's hot path stays off the GC. Deletion uses
+   backward-shift (no tombstones), which keeps probes short under the
+   constant churn of fills and evictions. *)
+
+type t = {
+  cap : int;
+  mutable size : int;
+  keys : int array;  (* slot -> key *)
+  next : int array;  (* slot links; slot = cap is the sentinel *)
+  prev : int array;
+  mutable free : int;  (* head of the free-slot list, threaded via next *)
+  table : int array;  (* probe position -> slot + 1; 0 = empty *)
+  mask : int;
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ~cap =
+  if cap <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  let tbl_size = pow2 (4 * cap) 16 in
+  let next = Array.make (cap + 1) (-1) in
+  let prev = Array.make (cap + 1) (-1) in
+  (* free list through next *)
+  for i = 0 to cap - 1 do
+    next.(i) <- i + 1
+  done;
+  next.(cap - 1) <- -1;
+  next.(cap) <- cap;
+  prev.(cap) <- cap;
+  {
+    cap;
+    size = 0;
+    keys = Array.make cap 0;
+    next;
+    prev;
+    free = 0;
+    table = Array.make tbl_size 0;
+    mask = tbl_size - 1;
+  }
+
+let capacity t = t.cap
+let length t = t.size
+
+let hash t key = (key * 0x2545F491) land t.mask
+
+(* Probe position of [key], or of the first empty slot. *)
+let probe t key =
+  let i = ref (hash t key) in
+  while
+    let s = t.table.(!i) in
+    s <> 0 && t.keys.(s - 1) <> key
+  do
+    i := (!i + 1) land t.mask
+  done;
+  !i
+
+let find_slot t key =
+  let i = probe t key in
+  t.table.(i) - 1  (* -1 when empty *)
+
+let mem t key = find_slot t key >= 0
+
+let unlink t s =
+  t.next.(t.prev.(s)) <- t.next.(s);
+  t.prev.(t.next.(s)) <- t.prev.(s)
+
+let push_front t s =
+  let sent = t.cap in
+  t.next.(s) <- t.next.(sent);
+  t.prev.(s) <- sent;
+  t.prev.(t.next.(sent)) <- s;
+  t.next.(sent) <- s
+
+let touch t key =
+  let s = find_slot t key in
+  if s < 0 then false
+  else begin
+    unlink t s;
+    push_front t s;
+    true
+  end
+
+(* Backward-shift deletion at probe position [i]. *)
+let table_delete_at t i =
+  t.table.(i) <- 0;
+  let i = ref i in
+  let j = ref ((!i + 1) land t.mask) in
+  while t.table.(!j) <> 0 do
+    let h = hash t t.keys.(t.table.(!j) - 1) in
+    (* entry at j belongs at h; move it into the hole at i unless h lies
+       cyclically within (i, j] *)
+    if (!j - h) land t.mask >= (!j - !i) land t.mask then begin
+      t.table.(!i) <- t.table.(!j);
+      t.table.(!j) <- 0;
+      i := !j
+    end;
+    j := (!j + 1) land t.mask
+  done
+
+let table_remove t key =
+  let i = probe t key in
+  if t.table.(i) <> 0 then table_delete_at t i
+
+let remove t key =
+  let s = find_slot t key in
+  if s < 0 then false
+  else begin
+    unlink t s;
+    table_remove t key;
+    t.next.(s) <- t.free;
+    t.free <- s;
+    t.size <- t.size - 1;
+    true
+  end
+
+let lru_key t = if t.size = 0 then None else Some t.keys.(t.prev.(t.cap))
+
+let add t key =
+  if touch t key then None
+  else begin
+    let victim = ref None in
+    let s =
+      if t.size >= t.cap then begin
+        (* evict the tail slot and reuse it *)
+        let tail = t.prev.(t.cap) in
+        let vkey = t.keys.(tail) in
+        unlink t tail;
+        table_remove t vkey;
+        t.size <- t.size - 1;
+        victim := Some vkey;
+        tail
+      end
+      else begin
+        let s = t.free in
+        t.free <- t.next.(s);
+        s
+      end
+    in
+    t.keys.(s) <- key;
+    push_front t s;
+    let i = probe t key in
+    t.table.(i) <- s + 1;
+    t.size <- t.size + 1;
+    !victim
+  end
+
+let iter f t =
+  let s = ref t.next.(t.cap) in
+  while !s <> t.cap do
+    f t.keys.(!s);
+    s := t.next.(!s)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun k -> acc := f !acc k) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc k -> k :: acc) [] t)
+
+let clear t =
+  Array.fill t.table 0 (Array.length t.table) 0;
+  t.size <- 0;
+  for i = 0 to t.cap - 1 do
+    t.next.(i) <- i + 1
+  done;
+  t.next.(t.cap - 1) <- -1;
+  t.free <- 0;
+  t.next.(t.cap) <- t.cap;
+  t.prev.(t.cap) <- t.cap
+
+let check_invariants t =
+  let l = to_list t in
+  let n = List.length l in
+  if n <> t.size then Error "list length <> size"
+  else if n > t.cap then Error "over capacity"
+  else if List.length (List.sort_uniq compare l) <> n then
+    Error "duplicate keys in list"
+  else if not (List.for_all (mem t) l) then Error "list key missing in table"
+  else begin
+    (* walk backwards too, to catch broken prev pointers *)
+    let back = ref [] in
+    let s = ref t.prev.(t.cap) in
+    while !s <> t.cap do
+      back := t.keys.(!s) :: !back;
+      s := t.prev.(!s)
+    done;
+    if !back <> l then Error "prev-chain disagrees with next-chain"
+    else begin
+      (* every table slot must point at a live key *)
+      let live = Hashtbl.create 64 in
+      List.iter (fun k -> Hashtbl.replace live k ()) l;
+      let table_count = ref 0 in
+      let bad = ref false in
+      Array.iter
+        (fun v ->
+          if v <> 0 then begin
+            incr table_count;
+            if not (Hashtbl.mem live t.keys.(v - 1)) then bad := true
+          end)
+        t.table;
+      if !bad then Error "table references dead slot"
+      else if !table_count <> n then Error "table population <> size"
+      else Ok ()
+    end
+  end

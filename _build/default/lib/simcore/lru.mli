@@ -1,0 +1,47 @@
+(** A fixed-capacity LRU set of integer keys (cache lines), with O(1)
+    membership, touch, insert and remove.
+
+    This is the replacement machinery shared by every simulated cache
+    level. Keys are arbitrary ints (line numbers); the set never holds more
+    than [capacity] keys — inserting into a full set evicts the least
+    recently used key and returns it. *)
+
+type t
+
+val create : cap:int -> t
+(** [create ~cap] is an empty set holding at most [cap] keys.
+    @raise Invalid_argument if [cap <= 0]. *)
+
+val capacity : t -> int
+val length : t -> int
+val mem : t -> int -> bool
+
+val touch : t -> int -> bool
+(** [touch t k] moves [k] to most-recently-used position; returns whether
+    [k] was present. *)
+
+val add : t -> int -> int option
+(** [add t k] inserts [k] as most-recently-used. Returns [Some victim] if a
+    least-recently-used key had to be evicted, [None] otherwise. Adding a
+    present key just touches it (returns [None]). *)
+
+val remove : t -> int -> bool
+(** [remove t k] deletes [k]; returns whether it was present. *)
+
+val lru_key : t -> int option
+(** The key that would be evicted next, if any. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate keys from most to least recently used. *)
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+(** Fold keys from most to least recently used. *)
+
+val to_list : t -> int list
+(** Keys from most to least recently used. *)
+
+val clear : t -> unit
+
+val check_invariants : t -> (unit, string) result
+(** Used by the property tests: list and table agree, no duplicates,
+    length within capacity. *)

@@ -1,0 +1,370 @@
+type t = {
+  cfg : Config.t;
+  topo : Topology.t;
+  l1 : Cache.t array;  (* per core *)
+  l2 : Cache.t array;  (* per core *)
+  l3 : Cache.t array;  (* per chip *)
+  presence : Presence.t;
+  dram : Dram.t;
+  mem : Memsys.t;
+  ctr : Counters.t array;
+}
+
+let create cfg =
+  (match Config.validate cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Machine.create: " ^ msg));
+  let topo = Topology.create cfg in
+  let ncores = Config.cores cfg in
+  let line = cfg.Config.line_bytes in
+  {
+    cfg;
+    topo;
+    l1 =
+      Array.init ncores (fun c ->
+          Cache.create L1 ~owner:c ~cap_bytes:cfg.Config.l1_bytes
+            ~line_bytes:line);
+    l2 =
+      Array.init ncores (fun c ->
+          Cache.create L2 ~owner:c ~cap_bytes:cfg.Config.l2_bytes
+            ~line_bytes:line);
+    l3 =
+      Array.init cfg.Config.chips (fun p ->
+          Cache.create L3 ~owner:p ~cap_bytes:cfg.Config.l3_bytes
+            ~line_bytes:line);
+    presence = Presence.create ();
+    dram = Dram.create cfg topo;
+    mem = Memsys.create ~line_bytes:line ();
+    ctr = Counters.create_array ncores;
+  }
+
+let cfg t = t.cfg
+let topology t = t.topo
+let memory t = t.mem
+let counters t core = t.ctr.(core)
+let all_counters t = t.ctr
+let dram t = t.dram
+let l1 t ~core = t.l1.(core)
+let l2 t ~core = t.l2.(core)
+let l3 t ~chip = t.l3.(chip)
+
+let all_caches t =
+  Array.to_list t.l1 @ Array.to_list t.l2 @ Array.to_list t.l3
+
+let chip_of_core t core = Config.chip_of_core t.cfg core
+let line_of t addr = addr / t.cfg.Config.line_bytes
+
+(* A core "holds" a line when it is in its L1 or L2; clear the presence bit
+   only when it has left both. *)
+let core_still_holds t core line =
+  Cache.contains t.l1.(core) line || Cache.contains t.l2.(core) line
+
+(* The L3 is a victim cache, as on the paper's AMD system: lines enter it
+   only when evicted from a private L2, and an L3 hit moves the line back
+   into the reader's private hierarchy. Private L2s and the L3 therefore
+   hold (mostly) disjoint lines, which is what makes the chip's aggregate
+   capacity the paper's 16 MB (16 x 512 KB L2 + 4 x 2 MB L3). *)
+
+let fill_l3 t chip line =
+  (match Cache.fill t.l3.(chip) line with
+  | Some victim -> Presence.clear_chip t.presence ~line:victim ~chip
+  | None -> ());
+  Presence.set_chip t.presence ~line ~chip
+
+let fill_l1 t core line =
+  match Cache.fill t.l1.(core) line with
+  | Some victim when not (Cache.contains t.l2.(core) victim) ->
+      Presence.clear_core t.presence ~line:victim ~core
+  | Some _ | None -> ()
+
+let fill_l2 t core line =
+  match Cache.fill t.l2.(core) line with
+  | Some victim ->
+      if not (Cache.contains t.l1.(core) victim) then begin
+        Presence.clear_core t.presence ~line:victim ~core;
+        (* victim-cache insertion into the chip's L3 *)
+        fill_l3 t (chip_of_core t core) victim
+      end
+  | None -> ()
+
+let fill_private t core line =
+  fill_l1 t core line;
+  fill_l2 t core line;
+  Presence.set_core t.presence ~line ~core
+
+(* Where a missing line will be sourced from. *)
+type source =
+  | From_remote of int  (* latency cycles *)
+  | From_dram of int  (* home chip *)
+
+let locate t ~core ~chip line =
+  let hops = Topology.hops t.topo in
+  match
+    Presence.nearest_core_holder t.presence ~line ~exclude_core:core
+      ~chip_of_core:(chip_of_core t) ~from_chip:chip ~hops
+  with
+  | Some holder ->
+      From_remote
+        (Topology.remote_cache_latency t.topo ~from_chip:chip
+           ~to_chip:(chip_of_core t holder))
+  | None -> (
+      match
+        Presence.nearest_chip_holder t.presence ~line ~exclude_chip:chip
+          ~from_chip:chip ~hops
+      with
+      | Some holder_chip ->
+          From_remote
+            (Topology.remote_cache_latency t.topo ~from_chip:chip
+               ~to_chip:holder_chip)
+      | None ->
+          From_dram
+            (Topology.home_chip t.topo
+               ~addr:(line * t.cfg.Config.line_bytes)))
+
+(* One load. Returns (cache_cycles, dram_home_opt): DRAM lines are not
+   charged here; the caller batches them per home bank so that concurrent
+   banks overlap. *)
+let read_line t ~core ~chip line =
+  let c = t.ctr.(core) in
+  c.Counters.loads <- c.Counters.loads + 1;
+  if Cache.probe t.l1.(core) line then begin
+    c.Counters.l1_hits <- c.Counters.l1_hits + 1;
+    (t.cfg.Config.l1_latency, None)
+  end
+  else if Cache.probe t.l2.(core) line then begin
+    c.Counters.l2_hits <- c.Counters.l2_hits + 1;
+    fill_l1 t core line;
+    Presence.set_core t.presence ~line ~core;
+    (t.cfg.Config.l2_latency, None)
+  end
+  else if Cache.probe t.l3.(chip) line then begin
+    c.Counters.l3_hits <- c.Counters.l3_hits + 1;
+    (* exclusive: the line moves from the L3 into the private hierarchy *)
+    ignore (Cache.drop t.l3.(chip) line);
+    Presence.clear_chip t.presence ~line ~chip;
+    fill_private t core line;
+    (t.cfg.Config.l3_latency, None)
+  end
+  else begin
+    match locate t ~core ~chip line with
+    | From_remote latency ->
+        c.Counters.remote_hits <- c.Counters.remote_hits + 1;
+        fill_private t core line;
+        (latency, None)
+    | From_dram home ->
+        c.Counters.dram_loads <- c.Counters.dram_loads + 1;
+        fill_private t core line;
+        (0, Some home)
+  end
+
+let lines_of_range t ~addr ~len =
+  let first = line_of t addr in
+  let last = line_of t (addr + max len 1 - 1) in
+  (first, last)
+
+let read t ~core ~now ~addr ~len =
+  if len <= 0 then 0
+  else begin
+    let chip = chip_of_core t core in
+    let first, last = lines_of_range t ~addr ~len in
+    let cache_cycles = ref 0 in
+    (* Per home bank: how many lines this access streams from DRAM. *)
+    let dram_lines = Array.make t.cfg.Config.chips 0 in
+    for line = first to last do
+      let cost, dram_home = read_line t ~core ~chip line in
+      cache_cycles := !cache_cycles + cost;
+      match dram_home with
+      | Some home -> dram_lines.(home) <- dram_lines.(home) + 1
+      | None -> ()
+    done;
+    let dram_cost = ref 0 in
+    Array.iteri
+      (fun home n ->
+        if n > 0 then begin
+          let c =
+            Dram.fetch t.dram ~now:(now + !cache_cycles) ~from_chip:chip
+              ~home_chip:home ~lines:n
+          in
+          if c > !dram_cost then dram_cost := c
+        end)
+      dram_lines;
+    !cache_cycles + !dram_cost
+  end
+
+let invalidate_others t ~core ~chip line =
+  let invalidated = ref false in
+  let holders = Presence.core_holders t.presence ~line in
+  let mask = holders land lnot (1 lsl core) in
+  if mask <> 0 then begin
+    invalidated := true;
+    for h = 0 to Config.cores t.cfg - 1 do
+      if mask land (1 lsl h) <> 0 then begin
+        ignore (Cache.invalidate t.l1.(h) line);
+        ignore (Cache.invalidate t.l2.(h) line);
+        Presence.clear_core t.presence ~line ~core:h
+      end
+    done
+  end;
+  let chip_mask = Presence.chip_holders t.presence ~line land lnot (1 lsl chip) in
+  if chip_mask <> 0 then begin
+    invalidated := true;
+    for p = 0 to t.cfg.Config.chips - 1 do
+      if chip_mask land (1 lsl p) <> 0 then begin
+        ignore (Cache.invalidate t.l3.(p) line);
+        Presence.clear_chip t.presence ~line ~chip:p
+      end
+    done
+  end;
+  !invalidated
+
+let write t ~core ~now ~addr ~len =
+  if len <= 0 then 0
+  else begin
+    let chip = chip_of_core t core in
+    let first, last = lines_of_range t ~addr ~len in
+    let c = t.ctr.(core) in
+    let cycles = ref 0 in
+    let dram_lines = Array.make t.cfg.Config.chips 0 in
+    for line = first to last do
+      c.Counters.stores <- c.Counters.stores + 1;
+      let cost, dram_home = read_line t ~core ~chip line in
+      cycles := !cycles + cost;
+      (match dram_home with
+      | Some home -> dram_lines.(home) <- dram_lines.(home) + 1
+      | None -> ());
+      if invalidate_others t ~core ~chip line then begin
+        c.Counters.invalidations_sent <- c.Counters.invalidations_sent + 1;
+        cycles := !cycles + t.cfg.Config.invalidate_cycles
+      end
+    done;
+    let dram_cost = ref 0 in
+    Array.iteri
+      (fun home n ->
+        if n > 0 then begin
+          let cost =
+            Dram.fetch t.dram ~now:(now + !cycles) ~from_chip:chip
+              ~home_chip:home ~lines:n
+          in
+          if cost > !dram_cost then dram_cost := cost
+        end)
+      dram_lines;
+    !cycles + !dram_cost
+  end
+
+let line_resident t ~core ~addr =
+  let line = line_of t addr in
+  core_still_holds t core line
+
+let residency t cache =
+  let tally = Hashtbl.create 64 in
+  Cache.iter_lines
+    (fun line ->
+      match Memsys.object_at t.mem ~addr:(line * t.cfg.Config.line_bytes) with
+      | None -> ()
+      | Some ext ->
+          let cur =
+            Option.value ~default:0 (Hashtbl.find_opt tally ext.Memsys.id)
+          in
+          Hashtbl.replace tally ext.Memsys.id (cur + 1))
+    cache;
+  Hashtbl.fold
+    (fun id n acc -> (Memsys.find_exn t.mem id, n) :: acc)
+    tally []
+  |> List.sort (fun (a, _) (b, _) -> compare a.Memsys.id b.Memsys.id)
+
+let object_residency t ext =
+  List.filter_map
+    (fun cache ->
+      let n = ref 0 in
+      let first = ext.Memsys.base / t.cfg.Config.line_bytes in
+      let last =
+        (ext.Memsys.base + ext.Memsys.size - 1) / t.cfg.Config.line_bytes
+      in
+      for line = first to last do
+        if Cache.contains cache line then incr n
+      done;
+      if !n > 0 then Some (cache, !n) else None)
+    (all_caches t)
+
+let distinct_cached_lines t = Presence.tracked_lines t.presence
+
+let check_presence_consistency t =
+  let ncores = Config.cores t.cfg in
+  let err = ref None in
+  let set_err fmt = Format.kasprintf (fun s -> if !err = None then err := Some s) fmt in
+  (* every cached line must have its presence bit set *)
+  List.iter
+    (fun cache ->
+      Cache.iter_lines
+        (fun line ->
+          match Cache.level cache with
+          | Cache.L1 | Cache.L2 ->
+              if
+                Presence.core_holders t.presence ~line
+                land (1 lsl Cache.owner cache)
+                = 0
+              then set_err "%s holds line %d but presence bit clear"
+                  (Cache.name cache) line
+          | Cache.L3 ->
+              if
+                Presence.chip_holders t.presence ~line
+                land (1 lsl Cache.owner cache)
+                = 0
+              then set_err "%s holds line %d but presence bit clear"
+                  (Cache.name cache) line)
+        cache)
+    (all_caches t);
+  (* every presence bit must correspond to a cached line *)
+  Presence.iter
+    (fun line ~cores ~chips ->
+      for c = 0 to ncores - 1 do
+        if cores land (1 lsl c) <> 0 && not (core_still_holds t c line) then
+          set_err "presence says core %d holds line %d but caches do not" c
+            line
+      done;
+      for p = 0 to t.cfg.Config.chips - 1 do
+        if chips land (1 lsl p) <> 0 && not (Cache.contains t.l3.(p) line)
+        then set_err "presence says chip %d holds line %d but L3 does not" p line
+      done)
+    t.presence;
+  match !err with None -> Ok () | Some e -> Error e
+
+let place t ~core ~addr ~l1 ~l2 ~l3 =
+  let line = line_of t addr in
+  let chip = chip_of_core t core in
+  if l1 then fill_l1 t core line;
+  if l2 then fill_l2 t core line;
+  if l1 || l2 then Presence.set_core t.presence ~line ~core;
+  if l3 then fill_l3 t chip line
+
+let flush_line t ~addr =
+  let line = line_of t addr in
+  Array.iteri
+    (fun c cache ->
+      let dropped1 = Cache.drop cache line in
+      let dropped2 = Cache.drop t.l2.(c) line in
+      if dropped1 || dropped2 then ();
+      Presence.clear_core t.presence ~line ~core:c)
+    t.l1;
+  Array.iteri
+    (fun p cache ->
+      ignore (Cache.drop cache line);
+      Presence.clear_chip t.presence ~line ~chip:p)
+    t.l3
+
+let flush_all t =
+  List.iter Cache.clear (all_caches t);
+  let lines = ref [] in
+  Presence.iter (fun line ~cores:_ ~chips:_ -> lines := line :: !lines) t.presence;
+  List.iter
+    (fun line ->
+      for c = 0 to Config.cores t.cfg - 1 do
+        Presence.clear_core t.presence ~line ~core:c
+      done;
+      for p = 0 to t.cfg.Config.chips - 1 do
+        Presence.clear_chip t.presence ~line ~chip:p
+      done)
+    !lines
+
+let seconds_of_cycles t cycles =
+  float_of_int cycles /. (t.cfg.Config.ghz *. 1e9)

@@ -1,0 +1,80 @@
+type obj_id = int
+type extent = { id : obj_id; base : int; size : int; name : string }
+
+type t = {
+  line_bytes : int;
+  mutable next_addr : int;
+  mutable exts : extent array;  (* sorted by base; grows append-only *)
+  mutable count : int;
+  by_id : (obj_id, extent) Hashtbl.t;
+}
+
+let create ?(base = 0x1000) ~line_bytes () =
+  if line_bytes <= 0 then invalid_arg "Memsys.create: line_bytes";
+  {
+    line_bytes;
+    next_addr = base;
+    exts = [||];
+    count = 0;
+    by_id = Hashtbl.create 1024;
+  }
+
+let round_up v align = (v + align - 1) / align * align
+
+let push t ext =
+  if t.count = Array.length t.exts then begin
+    let cap = max 64 (2 * t.count) in
+    let bigger = Array.make cap ext in
+    Array.blit t.exts 0 bigger 0 t.count;
+    t.exts <- bigger
+  end;
+  t.exts.(t.count) <- ext;
+  t.count <- t.count + 1
+
+let alloc t ~name ~size =
+  if size <= 0 then invalid_arg "Memsys.alloc: size must be positive";
+  let size = round_up size t.line_bytes in
+  let base = t.next_addr in
+  let id = t.count in
+  let ext = { id; base; size; name } in
+  t.next_addr <- base + size;
+  push t ext;
+  Hashtbl.add t.by_id id ext;
+  ext
+
+let alloc_isolated t ~name ~size =
+  (* A line-aligned allocation of whole lines never shares a line with a
+     neighbour, but make the isolation explicit by padding to at least one
+     full line on its own. *)
+  let size = max size t.line_bytes in
+  alloc t ~name ~size
+
+let find t id = Hashtbl.find_opt t.by_id id
+
+let find_exn t id =
+  match find t id with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Memsys.find_exn: no object %d" id)
+
+let object_at t ~addr =
+  (* Binary search for the last extent with base <= addr. *)
+  if t.count = 0 then None
+  else begin
+    let lo = ref 0 and hi = ref (t.count - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.exts.(mid).base <= addr then lo := mid else hi := mid - 1
+    done;
+    let e = t.exts.(!lo) in
+    if e.base <= addr && addr < e.base + e.size then Some e else None
+  end
+
+let extents t = Array.to_list (Array.sub t.exts 0 t.count)
+
+let lines_of t ext =
+  let first = ext.base / t.line_bytes in
+  let last = (ext.base + ext.size - 1) / t.line_bytes in
+  last - first + 1
+
+let brk t = t.next_addr
+let size t = t.count

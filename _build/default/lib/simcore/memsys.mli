@@ -1,0 +1,46 @@
+(** The simulated physical address space and object registry.
+
+    A bump allocator hands out address ranges; each allocation is a named
+    extent so that cache lines can be mapped back to the object they belong
+    to (used for the Figure 2 cache-contents snapshot and by CoreTime's
+    object table, which identifies objects by address exactly as the
+    paper's [ct_start(o)] does). *)
+
+type obj_id = int
+
+type extent = {
+  id : obj_id;
+  base : int;  (** First byte of the extent. *)
+  size : int;  (** Bytes. *)
+  name : string;
+}
+
+type t
+
+val create : ?base:int -> line_bytes:int -> unit -> t
+(** [base] defaults to [0x1000]; allocations are line-aligned. *)
+
+val alloc : t -> name:string -> size:int -> extent
+(** Allocate [size] bytes (rounded up to whole lines), line-aligned.
+    @raise Invalid_argument if [size <= 0]. *)
+
+val alloc_isolated : t -> name:string -> size:int -> extent
+(** Like {!alloc} but padded so the extent shares no cache line with any
+    other allocation (used for locks, to avoid false sharing). *)
+
+val find : t -> obj_id -> extent option
+val find_exn : t -> obj_id -> extent
+val object_at : t -> addr:int -> extent option
+(** The extent containing [addr], if any. *)
+
+val extents : t -> extent list
+(** All extents in allocation (= address) order. *)
+
+val lines_of : t -> extent -> int
+(** Number of cache lines the extent spans. *)
+
+val brk : t -> int
+(** First unallocated address. *)
+
+val size : t -> int
+(** Number of extents allocated. *)

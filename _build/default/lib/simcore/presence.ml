@@ -1,0 +1,154 @@
+(* Open-addressing linear-probe table: line -> (core mask, chip mask).
+   Stored unboxed in parallel int arrays ([keys] holds line + 1 so 0 means
+   empty); entries whose masks both reach zero are deleted with
+   backward-shift, keeping probe chains short. This sits on the miss path
+   of every simulated load, so it must not allocate. *)
+
+type t = {
+  mutable keys : int array;  (* line + 1; 0 = empty *)
+  mutable cores_ : int array;
+  mutable chips_ : int array;
+  mutable mask : int;
+  mutable size : int;
+}
+
+let initial_bits = 16
+
+let create () =
+  let n = 1 lsl initial_bits in
+  {
+    keys = Array.make n 0;
+    cores_ = Array.make n 0;
+    chips_ = Array.make n 0;
+    mask = n - 1;
+    size = 0;
+  }
+
+let hash t line = (line * 0x2545F491) land t.mask
+
+let probe t line =
+  let k = line + 1 in
+  let i = ref (hash t line) in
+  while t.keys.(!i) <> 0 && t.keys.(!i) <> k do
+    i := (!i + 1) land t.mask
+  done;
+  !i
+
+let rec grow t =
+  let old_keys = t.keys and old_cores = t.cores_ and old_chips = t.chips_ in
+  let n = 2 * (t.mask + 1) in
+  t.keys <- Array.make n 0;
+  t.cores_ <- Array.make n 0;
+  t.chips_ <- Array.make n 0;
+  t.mask <- n - 1;
+  t.size <- 0;
+  Array.iteri
+    (fun i k ->
+      if k <> 0 then insert_masks t (k - 1) old_cores.(i) old_chips.(i))
+    old_keys
+
+and insert_masks t line cores chips =
+  if 2 * (t.size + 1) > t.mask + 1 then grow t;
+  let i = probe t line in
+  if t.keys.(i) = 0 then begin
+    t.keys.(i) <- line + 1;
+    t.size <- t.size + 1
+  end;
+  t.cores_.(i) <- t.cores_.(i) lor cores;
+  t.chips_.(i) <- t.chips_.(i) lor chips
+
+let delete_at t i =
+  t.keys.(i) <- 0;
+  t.cores_.(i) <- 0;
+  t.chips_.(i) <- 0;
+  t.size <- t.size - 1;
+  let i = ref i in
+  let j = ref ((!i + 1) land t.mask) in
+  while t.keys.(!j) <> 0 do
+    let h = (t.keys.(!j) - 1) * 0x2545F491 land t.mask in
+    if (!j - h) land t.mask >= (!j - !i) land t.mask then begin
+      t.keys.(!i) <- t.keys.(!j);
+      t.cores_.(!i) <- t.cores_.(!j);
+      t.chips_.(!i) <- t.chips_.(!j);
+      t.keys.(!j) <- 0;
+      t.cores_.(!j) <- 0;
+      t.chips_.(!j) <- 0;
+      i := !j
+    end;
+    j := (!j + 1) land t.mask
+  done
+
+let set_core t ~line ~core = insert_masks t line (1 lsl core) 0
+let set_chip t ~line ~chip = insert_masks t line 0 (1 lsl chip)
+
+let clear_core t ~line ~core =
+  let i = probe t line in
+  if t.keys.(i) <> 0 then begin
+    t.cores_.(i) <- t.cores_.(i) land lnot (1 lsl core);
+    if t.cores_.(i) = 0 && t.chips_.(i) = 0 then delete_at t i
+  end
+
+let clear_chip t ~line ~chip =
+  let i = probe t line in
+  if t.keys.(i) <> 0 then begin
+    t.chips_.(i) <- t.chips_.(i) land lnot (1 lsl chip);
+    if t.cores_.(i) = 0 && t.chips_.(i) = 0 then delete_at t i
+  end
+
+let core_holders t ~line =
+  let i = probe t line in
+  if t.keys.(i) = 0 then 0 else t.cores_.(i)
+
+let chip_holders t ~line =
+  let i = probe t line in
+  if t.keys.(i) = 0 then 0 else t.chips_.(i)
+
+let cached_anywhere t ~line =
+  let i = probe t line in
+  t.keys.(i) <> 0 && (t.cores_.(i) <> 0 || t.chips_.(i) <> 0)
+
+(* Iterate set bits of [mask], calling [f] with each bit index, lowest
+   first. *)
+let iter_bits mask f =
+  let rec idx b i = if b = 1 then i else idx (b lsr 1) (i + 1) in
+  let m = ref mask in
+  while !m <> 0 do
+    let bit = !m land (- !m) in
+    f (idx bit 0);
+    m := !m land lnot bit
+  done
+
+let nearest_core_holder t ~line ~exclude_core ~chip_of_core ~from_chip ~hops =
+  let mask = core_holders t ~line land lnot (1 lsl exclude_core) in
+  if mask = 0 then None
+  else begin
+    let best = ref (-1) and best_h = ref max_int in
+    iter_bits mask (fun core ->
+        let h = hops from_chip (chip_of_core core) in
+        if h < !best_h then begin
+          best_h := h;
+          best := core
+        end);
+    Some !best
+  end
+
+let nearest_chip_holder t ~line ~exclude_chip ~from_chip ~hops =
+  let mask = chip_holders t ~line land lnot (1 lsl exclude_chip) in
+  if mask = 0 then None
+  else begin
+    let best = ref (-1) and best_h = ref max_int in
+    iter_bits mask (fun chip ->
+        let h = hops from_chip chip in
+        if h < !best_h then begin
+          best_h := h;
+          best := chip
+        end);
+    Some !best
+  end
+
+let tracked_lines t = t.size
+
+let iter f t =
+  Array.iteri
+    (fun i k -> if k <> 0 then f (k - 1) ~cores:t.cores_.(i) ~chips:t.chips_.(i))
+    t.keys

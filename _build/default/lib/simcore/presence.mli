@@ -1,0 +1,47 @@
+(** Coherence presence directory: for every cached line, which cores hold a
+    copy in their private hierarchy (L1 or L2) and which chips hold one in
+    their shared L3.
+
+    This mirrors the broadcast/snoop information the AMD interconnect
+    carries: a read miss consults it to find the nearest copy; a write
+    consults it to invalidate every other copy. It is a pure bookkeeping
+    structure — {!Machine} is responsible for keeping it consistent with
+    the per-cache LRU contents (a property the test suite checks). *)
+
+type t
+
+val create : unit -> t
+
+val set_core : t -> line:int -> core:int -> unit
+(** Record that [core]'s private hierarchy now holds [line]. *)
+
+val clear_core : t -> line:int -> core:int -> unit
+
+val set_chip : t -> line:int -> chip:int -> unit
+(** Record that [chip]'s L3 now holds [line]. *)
+
+val clear_chip : t -> line:int -> chip:int -> unit
+
+val core_holders : t -> line:int -> int
+(** Bitmask of cores whose private caches hold [line]. *)
+
+val chip_holders : t -> line:int -> int
+(** Bitmask of chips whose L3 holds [line]. *)
+
+val cached_anywhere : t -> line:int -> bool
+
+val nearest_core_holder :
+  t -> line:int -> exclude_core:int -> chip_of_core:(int -> int) -> from_chip:int ->
+  hops:(int -> int -> int) -> int option
+(** The holder core (other than [exclude_core]) whose chip is fewest hops
+    from [from_chip]; ties broken by lowest core id. *)
+
+val nearest_chip_holder :
+  t -> line:int -> exclude_chip:int -> from_chip:int ->
+  hops:(int -> int -> int) -> int option
+(** Nearest chip (other than [exclude_chip]) whose L3 holds [line]. *)
+
+val tracked_lines : t -> int
+(** Number of lines with at least one holder (for tests/metrics). *)
+
+val iter : (int -> cores:int -> chips:int -> unit) -> t -> unit

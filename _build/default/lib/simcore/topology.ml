@@ -1,0 +1,37 @@
+type t = { cfg : Config.t; width : int }
+
+let create cfg =
+  let rec width n = if n * n >= cfg.Config.chips then n else width (n + 1) in
+  { cfg; width = width 1 }
+
+let coords t chip = (chip mod t.width, chip / t.width)
+
+let hops t a b =
+  let xa, ya = coords t a and xb, yb = coords t b in
+  abs (xa - xb) + abs (ya - yb)
+
+let max_hops t =
+  let n = t.cfg.Config.chips in
+  let best = ref 0 in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if hops t a b > !best then best := hops t a b
+    done
+  done;
+  !best
+
+let remote_cache_latency t ~from_chip ~to_chip =
+  t.cfg.Config.remote_same_chip
+  + (hops t from_chip to_chip * t.cfg.Config.remote_hop)
+
+let dram_latency t ~from_chip ~home_chip =
+  t.cfg.Config.dram_latency
+  + (hops t from_chip home_chip * t.cfg.Config.dram_hop)
+
+let home_chip t ~addr = addr / t.cfg.Config.page_bytes mod t.cfg.Config.chips
+
+let pp ppf t =
+  Format.fprintf ppf "%d chips on a %dx%d grid (max %d hops)"
+    t.cfg.Config.chips t.width
+    ((t.cfg.Config.chips + t.width - 1) / t.width)
+    (max_hops t)

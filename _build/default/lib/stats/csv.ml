@@ -1,0 +1,45 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let row_to_string cells = String.concat "," (List.map escape cells)
+
+let to_string ~header rows =
+  String.concat "\n" (List.map row_to_string (header :: rows)) ^ "\n"
+
+let write_file ~path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~header rows))
+
+let of_series series =
+  let xs =
+    List.concat_map Series.xs series |> List.sort_uniq compare
+  in
+  let header = "x" :: List.map (fun s -> s.Series.label) series in
+  let rows =
+    List.map
+      (fun x ->
+        Printf.sprintf "%g" x
+        :: List.map
+             (fun s ->
+               match Series.y_at s x with
+               | Some y -> Printf.sprintf "%g" y
+               | None -> "")
+             series)
+      xs
+  in
+  to_string ~header rows

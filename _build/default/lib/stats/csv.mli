@@ -1,0 +1,11 @@
+(** Minimal CSV output (RFC-4180-style quoting), so experiment sweeps can
+    be saved and replotted externally. *)
+
+val escape : string -> string
+val row_to_string : string list -> string
+val to_string : header:string list -> string list list -> string
+val write_file : path:string -> header:string list -> string list list -> unit
+
+val of_series : Series.t list -> string
+(** Wide format: first column x, one column per series label; missing
+    points are empty cells. *)

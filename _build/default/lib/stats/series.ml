@@ -1,0 +1,70 @@
+type point = { x : float; y : float }
+type t = { label : string; points : point list }
+
+let make ~label pts =
+  {
+    label;
+    points =
+      List.map (fun (x, y) -> { x; y }) pts
+      |> List.sort (fun a b -> compare a.x b.x);
+  }
+
+let xs t = List.map (fun p -> p.x) t.points
+let ys t = List.map (fun p -> p.y) t.points
+let length t = List.length t.points
+
+let y_at t x =
+  List.find_map (fun p -> if p.x = x then Some p.y else None) t.points
+
+let interpolate t x =
+  let rec go = function
+    | [] | [ _ ] -> None
+    | a :: (b :: _ as rest) ->
+        if x < a.x then None
+        else if x <= b.x then begin
+          let frac = if b.x = a.x then 0.0 else (x -. a.x) /. (b.x -. a.x) in
+          Some (a.y +. (frac *. (b.y -. a.y)))
+        end
+        else go rest
+  in
+  match t.points with
+  | [] -> None
+  | [ p ] -> if p.x = x then Some p.y else None
+  | p :: _ when x = p.x -> Some p.y
+  | points -> go points
+
+let shared_points a b =
+  List.filter_map
+    (fun p ->
+      match y_at b p.x with Some yb -> Some (p.x, p.y, yb) | None -> None)
+    a.points
+
+let ratio ~num ~den =
+  let pts =
+    List.filter_map
+      (fun (x, yn, yd) -> if yd = 0.0 then None else Some (x, yn /. yd))
+      (shared_points num den)
+  in
+  make ~label:(num.label ^ "/" ^ den.label) pts
+
+let crossover ~a ~b =
+  let shared = shared_points a b in
+  let sign v = compare v 0.0 in
+  let rec go prev = function
+    | [] -> None
+    | (x, ya, yb) :: rest ->
+        let s = sign (ya -. yb) in
+        if s <> 0 && prev <> 0 && s <> prev then Some x
+        else go (if s = 0 then prev else s) rest
+  in
+  go 0 shared
+
+let max_y t =
+  List.fold_left
+    (fun acc p ->
+      match acc with Some m when m.y >= p.y -> acc | _ -> Some p)
+    None t.points
+
+let pp ppf t =
+  Format.fprintf ppf "%s:" t.label;
+  List.iter (fun p -> Format.fprintf ppf " (%g, %g)" p.x p.y) t.points

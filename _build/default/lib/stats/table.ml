@@ -1,0 +1,68 @@
+type align = Left | Right
+type row = Cells of string list | Rule
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows_rev : row list;
+}
+
+let create ~columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  { headers = List.map fst columns; aligns = List.map snd columns; rows_rev = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows_rev <- Cells cells :: t.rows_rev
+
+let add_rule t = t.rows_rev <- Rule :: t.rows_rev
+
+let rows t =
+  List.length
+    (List.filter (function Cells _ -> true | Rule -> false) t.rows_rev)
+
+let render t =
+  let rows = List.rev t.rows_rev in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row ->
+            match row with
+            | Rule -> w
+            | Cells cells -> max w (String.length (List.nth cells i)))
+          (String.length h) rows)
+      t.headers
+  in
+  let pad align width s =
+    let gap = width - String.length s in
+    if gap <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make gap ' '
+      | Right -> String.make gap ' ' ^ s
+  in
+  let buf = Buffer.create 1024 in
+  let emit_cells cells =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad (List.nth t.aligns i) (List.nth widths i) cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    List.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (String.make w '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_cells t.headers;
+  rule ();
+  List.iter (function Cells c -> emit_cells c | Rule -> rule ()) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,16 @@
+(** Fixed-width ASCII tables for the benchmark harness output. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_rule : t -> unit
+(** A horizontal separator. *)
+
+val render : t -> string
+val print : t -> unit
+val rows : t -> int

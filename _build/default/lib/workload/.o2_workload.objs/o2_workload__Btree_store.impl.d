@@ -1,0 +1,1 @@
+lib/workload/btree_store.ml: Api Array Coretime Engine Format List O2_runtime O2_simcore Option Printf Spinlock String

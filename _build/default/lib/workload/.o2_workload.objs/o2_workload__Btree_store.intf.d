@@ -1,0 +1,1 @@
+lib/workload/btree_store.mli: Coretime

@@ -1,0 +1,1 @@
+lib/workload/dir_workload.ml: Array Coretime Dist Fat Fat_name Fat_types Fun Hashtbl O2_fs O2_runtime O2_simcore Printf Rng

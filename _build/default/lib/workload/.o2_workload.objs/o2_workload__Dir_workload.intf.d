@@ -1,0 +1,1 @@
+lib/workload/dir_workload.mli: Coretime O2_fs O2_runtime Rng

@@ -1,0 +1,1 @@
+lib/workload/kv_store.ml: Api Array Coretime Engine O2_runtime O2_simcore Printf Spinlock

@@ -1,0 +1,1 @@
+lib/workload/phase.ml: Dir_workload O2_runtime

@@ -1,0 +1,1 @@
+lib/workload/phase.mli: Dir_workload O2_runtime

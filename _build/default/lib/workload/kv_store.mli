@@ -1,0 +1,38 @@
+(** A small in-simulated-memory hash table with per-bucket locks and
+    CoreTime annotations: the kind of server-side object store the paper's
+    introduction motivates (web-server working sets). Each bucket is a
+    CoreTime object; each get/put is an operation.
+
+    Data lives host-side (OCaml arrays); the simulated address range of
+    each bucket is what operations read and write for cost. *)
+
+type t
+
+val create :
+  Coretime.t ->
+  ?pid:int ->
+  name:string ->
+  buckets:int ->
+  slots_per_bucket:int ->
+  unit ->
+  t
+(** Allocates [buckets] bucket extents and registers each as a CoreTime
+    object owned by [pid]. *)
+
+val buckets : t -> int
+val bucket_of_key : t -> int -> int
+val bucket_addr : t -> int -> int
+
+val put : t -> key:int -> value:int -> bool
+(** Insert or update from inside a simulated thread (annotated write
+    operation). Returns false when the bucket is full. *)
+
+val get : t -> key:int -> int option
+(** Annotated read operation. *)
+
+val delete : t -> key:int -> bool
+val size : t -> int
+(** Live keys (host-side). *)
+
+val mem_bytes : t -> int
+(** Total simulated bytes across buckets. *)

@@ -1,0 +1,1 @@
+test/suite_btree.ml: Alcotest Array Btree_store Config Coretime Fun List Machine O2_runtime O2_simcore O2_workload Option QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_clustering_ownership.ml: Alcotest Clustering Coretime List Object_table Ownership QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_config.ml: Alcotest Config List O2_simcore QCheck2 QCheck_alcotest Result Topology

@@ -1,0 +1,1 @@
+test/suite_coretime.ml: Alcotest Api Config Coretime Counters Engine Machine Memsys O2_runtime O2_simcore

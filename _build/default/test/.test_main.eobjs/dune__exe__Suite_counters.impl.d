@@ -1,0 +1,1 @@
+test/suite_counters.ml: Alcotest Array Counters O2_simcore

@@ -1,0 +1,1 @@
+test/suite_engine.ml: Alcotest Api Array Buffer Config Coretime Counters Engine Machine Memsys O2_runtime O2_simcore O2_workload

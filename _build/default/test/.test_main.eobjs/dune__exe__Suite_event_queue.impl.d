@@ -1,0 +1,1 @@
+test/suite_event_queue.ml: Alcotest Event_queue List O2_runtime Option QCheck2 QCheck_alcotest

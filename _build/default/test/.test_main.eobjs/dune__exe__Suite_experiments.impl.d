@@ -1,0 +1,1 @@
+test/suite_experiments.ml: Alcotest Coretime Fig2 Format Harness Latency_table List O2_experiments O2_workload Printf Registry Result

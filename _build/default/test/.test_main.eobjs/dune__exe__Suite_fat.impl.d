@@ -1,0 +1,1 @@
+test/suite_fat.ml: Alcotest Bytes Config Fat Fat_check Fat_dir Fat_image Fat_name Fat_types Hashtbl List Machine Memsys O2_fs O2_runtime O2_simcore Option Printf QCheck2 QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/suite_lru.ml: Alcotest List Lru O2_simcore QCheck2 QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/suite_machine.ml: Alcotest Cache Config Counters List Machine Memsys O2_simcore QCheck2 QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/suite_memsys_dram.ml: Alcotest Config Dram Memsys O2_simcore Option Topology

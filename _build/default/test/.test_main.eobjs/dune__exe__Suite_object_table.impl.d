@@ -1,0 +1,1 @@
+test/suite_object_table.ml: Alcotest Array Coretime List Object_table QCheck2 QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/suite_packing.ml: Alcotest Array Cache_packing Coretime List Policy QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_rebalancer.ml: Alcotest Array Config Coretime Counters List Machine O2_simcore Object_table Policy Printf Rebalancer Result

@@ -1,0 +1,1 @@
+test/suite_sched.ml: Alcotest Array List O2_sched

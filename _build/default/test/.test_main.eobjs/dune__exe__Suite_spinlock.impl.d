@@ -1,0 +1,1 @@
+test/suite_spinlock.ml: Alcotest Api Config Counters Engine List Machine O2_runtime O2_simcore Printf Spinlock

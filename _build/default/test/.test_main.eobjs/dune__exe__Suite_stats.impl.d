@@ -1,0 +1,1 @@
+test/suite_stats.ml: Alcotest Ascii_plot Csv List O2_stats Series String Summary Table

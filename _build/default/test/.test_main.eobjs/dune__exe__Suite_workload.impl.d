@@ -1,0 +1,1 @@
+test/suite_workload.ml: Alcotest Array Config Coretime Dir_workload Dist Fun Hashtbl Kv_store List Machine O2_fs O2_runtime O2_simcore O2_workload Option Phase QCheck2 QCheck_alcotest Rng

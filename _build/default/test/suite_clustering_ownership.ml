@@ -1,0 +1,78 @@
+open Coretime
+
+let test_coaccess_counts () =
+  let c = Clustering.create () in
+  Clustering.note_coaccess c 1 2;
+  Clustering.note_coaccess c 2 1;
+  Clustering.note_coaccess c 1 3;
+  Alcotest.(check int) "order-insensitive" 2 (Clustering.coaccess_count c 1 2);
+  Alcotest.(check int) "other pair" 1 (Clustering.coaccess_count c 3 1);
+  Alcotest.(check int) "unknown pair" 0 (Clustering.coaccess_count c 4 5);
+  Alcotest.(check int) "pairs tracked" 2 (Clustering.pairs_tracked c)
+
+let test_self_coaccess_ignored () =
+  let c = Clustering.create () in
+  Clustering.note_coaccess c 7 7;
+  Alcotest.(check int) "no self pair" 0 (Clustering.pairs_tracked c)
+
+let test_partners_sorted () =
+  let c = Clustering.create () in
+  for _ = 1 to 3 do Clustering.note_coaccess c 1 2 done;
+  Clustering.note_coaccess c 1 3;
+  for _ = 1 to 2 do Clustering.note_coaccess c 1 4 done;
+  Alcotest.(check (list (pair int int))) "most frequent first"
+    [ (2, 3); (4, 2); (3, 1) ]
+    (Clustering.partners c 1)
+
+let test_preferred_core () =
+  let c = Clustering.create () in
+  let t = Object_table.create ~cores:4 ~budget_per_core:1000 in
+  let a = Object_table.register t ~base:1 ~size:300 ~name:"a" () in
+  let b = Object_table.register t ~base:2 ~size:300 ~name:"b" () in
+  for _ = 1 to 10 do Clustering.note_coaccess c 1 2 done;
+  Alcotest.(check (option int)) "partner unassigned: no preference" None
+    (Clustering.preferred_core c t ~min_coaccess:5 b);
+  Object_table.assign t a 2;
+  Alcotest.(check (option int)) "follow the partner" (Some 2)
+    (Clustering.preferred_core c t ~min_coaccess:5 b);
+  Alcotest.(check (option int)) "threshold not met" None
+    (Clustering.preferred_core c t ~min_coaccess:50 b);
+  (* partner's core has no room *)
+  let filler = Object_table.register t ~base:3 ~size:600 ~name:"fill" () in
+  Object_table.assign t filler 2;
+  Alcotest.(check (option int)) "no room on the partner's core" None
+    (Clustering.preferred_core c t ~min_coaccess:5 b)
+
+let test_ownership_shares () =
+  let o = Ownership.create () in
+  Alcotest.(check (float 0.0001)) "empty share" 0.0 (Ownership.share o ~pid:1);
+  Ownership.charge o ~pid:1 ~cycles:300;
+  Ownership.charge o ~pid:2 ~cycles:100;
+  Ownership.charge o ~pid:1 ~cycles:100;
+  Alcotest.(check int) "ops" 2 (Ownership.ops o ~pid:1);
+  Alcotest.(check int) "cycles" 400 (Ownership.cycles o ~pid:1);
+  Alcotest.(check int) "total" 500 (Ownership.total_cycles o);
+  Alcotest.(check (float 0.0001)) "share" 0.8 (Ownership.share o ~pid:1);
+  Alcotest.(check (list int)) "pids sorted" [ 1; 2 ] (Ownership.pids o)
+
+let prop_shares_sum_to_one =
+  QCheck2.Test.make ~name:"ownership shares sum to 1" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (pair (int_bound 5) (int_range 1 1000)))
+    (fun charges ->
+      let o = Ownership.create () in
+      List.iter (fun (pid, cycles) -> Ownership.charge o ~pid ~cycles) charges;
+      let total =
+        List.fold_left (fun acc pid -> acc +. Ownership.share o ~pid) 0.0
+          (Ownership.pids o)
+      in
+      abs_float (total -. 1.0) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "co-access counting" `Quick test_coaccess_counts;
+    Alcotest.test_case "self pairs ignored" `Quick test_self_coaccess_ignored;
+    Alcotest.test_case "partners sorted by frequency" `Quick test_partners_sorted;
+    Alcotest.test_case "preferred core follows assigned partner" `Quick test_preferred_core;
+    Alcotest.test_case "ownership shares" `Quick test_ownership_shares;
+    QCheck_alcotest.to_alcotest prop_shares_sum_to_one;
+  ]

@@ -1,0 +1,96 @@
+open O2_simcore
+
+let test_builtins_validate () =
+  List.iter
+    (fun cfg ->
+      match Config.validate cfg with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s invalid: %s" cfg.Config.name e)
+    [ Config.amd16; Config.small4; Config.future64 ]
+
+let test_amd16_is_the_paper_machine () =
+  let c = Config.amd16 in
+  Alcotest.(check int) "16 cores" 16 (Config.cores c);
+  Alcotest.(check int) "4 chips" 4 c.Config.chips;
+  Alcotest.(check int) "L1 latency" 3 c.Config.l1_latency;
+  Alcotest.(check int) "L2 latency" 14 c.Config.l2_latency;
+  Alcotest.(check int) "L3 latency" 75 c.Config.l3_latency;
+  Alcotest.(check int) "remote same chip" 127 c.Config.remote_same_chip;
+  Alcotest.(check int) "migration is 2000 cycles" 2000 (Config.migration_cycles c);
+  Alcotest.(check int) "16 MB of on-chip memory"
+    (16 * 1024 * 1024)
+    (Config.on_chip_capacity c);
+  Alcotest.(check int) "1 MB per-core packing budget"
+    (1024 * 1024)
+    (Config.per_core_budget c)
+
+let test_chip_of_core () =
+  let c = Config.amd16 in
+  Alcotest.(check int) "core 0 on chip 0" 0 (Config.chip_of_core c 0);
+  Alcotest.(check int) "core 3 on chip 0" 0 (Config.chip_of_core c 3);
+  Alcotest.(check int) "core 4 on chip 1" 1 (Config.chip_of_core c 4);
+  Alcotest.(check int) "core 15 on chip 3" 3 (Config.chip_of_core c 15)
+
+let test_rejects_bad_configs () =
+  let is_err cfg = Result.is_error (Config.validate cfg) in
+  Alcotest.(check bool) "no cores" true
+    (is_err { Config.amd16 with Config.chips = 0 });
+  Alcotest.(check bool) "line not power of two" true
+    (is_err { Config.amd16 with Config.line_bytes = 48 });
+  Alcotest.(check bool) "page smaller than line" true
+    (is_err { Config.amd16 with Config.page_bytes = 32 });
+  Alcotest.(check bool) "ragged cache size" true
+    (is_err { Config.amd16 with Config.l2_bytes = 1000 });
+  Alcotest.(check bool) "negative latency" true
+    (is_err { Config.amd16 with Config.l3_latency = -1 });
+  Alcotest.(check bool) "zero ghz" true
+    (is_err { Config.amd16 with Config.ghz = 0.0 })
+
+let test_topology_square () =
+  let topo = Topology.create Config.amd16 in
+  (* 4 chips on a 2x2 grid: 0 1 / 2 3 *)
+  Alcotest.(check int) "self" 0 (Topology.hops topo 0 0);
+  Alcotest.(check int) "adjacent" 1 (Topology.hops topo 0 1);
+  Alcotest.(check int) "adjacent" 1 (Topology.hops topo 0 2);
+  Alcotest.(check int) "diagonal" 2 (Topology.hops topo 0 3);
+  Alcotest.(check int) "symmetric" (Topology.hops topo 3 1) (Topology.hops topo 1 3);
+  Alcotest.(check int) "max hops" 2 (Topology.max_hops topo)
+
+let test_topology_latencies () =
+  let topo = Topology.create Config.amd16 in
+  Alcotest.(check int) "same chip remote" 127
+    (Topology.remote_cache_latency topo ~from_chip:0 ~to_chip:0);
+  Alcotest.(check int) "one hop" 187
+    (Topology.remote_cache_latency topo ~from_chip:0 ~to_chip:1);
+  Alcotest.(check int) "two hops" 247
+    (Topology.remote_cache_latency topo ~from_chip:0 ~to_chip:3);
+  Alcotest.(check int) "distant dram latency component" (202 + 120)
+    (Topology.dram_latency topo ~from_chip:0 ~home_chip:3)
+
+let test_home_chip_interleave () =
+  let topo = Topology.create Config.amd16 in
+  let page = Config.amd16.Config.page_bytes in
+  Alcotest.(check int) "page 0" 0 (Topology.home_chip topo ~addr:0);
+  Alcotest.(check int) "page 1" 1 (Topology.home_chip topo ~addr:page);
+  Alcotest.(check int) "page 5 wraps" 1 (Topology.home_chip topo ~addr:(5 * page));
+  Alcotest.(check int) "same page same home" 0
+    (Topology.home_chip topo ~addr:(page - 1))
+
+let prop_hops_triangle =
+  QCheck2.Test.make ~name:"topology hops satisfy triangle inequality" ~count:200
+    QCheck2.Gen.(triple (int_bound 7) (int_bound 7) (int_bound 7))
+    (fun (a, b, c) ->
+      let topo = Topology.create Config.future64 in
+      Topology.hops topo a c <= Topology.hops topo a b + Topology.hops topo b c)
+
+let suite =
+  [
+    Alcotest.test_case "built-in configs validate" `Quick test_builtins_validate;
+    Alcotest.test_case "amd16 matches Section 5" `Quick test_amd16_is_the_paper_machine;
+    Alcotest.test_case "chip_of_core" `Quick test_chip_of_core;
+    Alcotest.test_case "validate rejects bad configs" `Quick test_rejects_bad_configs;
+    Alcotest.test_case "square interconnect hops" `Quick test_topology_square;
+    Alcotest.test_case "interconnect latencies" `Quick test_topology_latencies;
+    Alcotest.test_case "dram pages interleave across chips" `Quick test_home_chip_interleave;
+    QCheck_alcotest.to_alcotest prop_hops_triangle;
+  ]

@@ -1,0 +1,283 @@
+(* CoreTime end to end on the simulated machine: annotation bookkeeping,
+   promotion, migration to home cores, baseline transparency, replication
+   policy, ownership accounting. *)
+
+open O2_simcore
+open O2_runtime
+
+let make ?policy () =
+  let machine = Machine.create Config.amd16 in
+  let engine = Engine.create machine in
+  let ct = Coretime.create ?policy engine () in
+  (machine, engine, ct)
+
+(* A 512 KB object (fits one core's packing budget) plus a 4 MB filler
+   buffer: scanning the filler between operations evicts the object, so
+   every operation on it misses — "expensive to fetch". *)
+let obj_size = 512 * 1024
+let filler_size = 4 * 1024 * 1024
+
+let big_object ct machine name =
+  let ext = Memsys.alloc (Machine.memory machine) ~name ~size:obj_size in
+  let obj = Coretime.register ct ~base:ext.Memsys.base ~size:obj_size ~name () in
+  (ext.Memsys.base, obj)
+
+let filler machine =
+  (Memsys.alloc (Machine.memory machine) ~name:"filler" ~size:filler_size)
+    .Memsys.base
+
+let scan addr size = ignore (Api.read ~addr ~len:size)
+
+let test_ct_requires_thread_frame () =
+  let _, engine, ct = make () in
+  ignore
+    (Engine.spawn engine ~core:0 ~name:"t" (fun () -> Coretime.ct_end ct));
+  Alcotest.(check bool) "ct_end without ct_start raises" true
+    (match Engine.run engine with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_unregistered_address_is_harmless () =
+  let _, engine, ct = make () in
+  let ops = ref 0 in
+  ignore
+    (Engine.spawn engine ~core:0 ~name:"t" (fun () ->
+         Coretime.ct_start ct 0xDEAD0000;
+         Api.compute 10;
+         Coretime.ct_end ct;
+         incr ops));
+  Engine.run engine;
+  Alcotest.(check int) "op ran" 1 !ops;
+  Alcotest.(check int) "counted" 1 (Coretime.stats ct).Coretime.ops;
+  Alcotest.(check int) "nothing promoted" 0 (Coretime.stats ct).Coretime.promotions
+
+let test_promotion_after_expensive_ops () =
+  let machine, engine, ct =
+    make ~policy:{ Coretime.Policy.default with Coretime.Policy.rebalance = false } ()
+  in
+  let addr, obj = big_object ct machine "hot" in
+  let fill = filler machine in
+  ignore
+    (Engine.spawn engine ~core:0 ~name:"t" (fun () ->
+         for _ = 1 to 8 do
+           Coretime.with_op ct addr (fun () -> scan addr obj_size);
+           scan fill filler_size
+         done));
+  Engine.run engine;
+  Alcotest.(check bool) "promoted to a home core" true
+    (obj.Coretime.Object_table.home <> None);
+  Alcotest.(check int) "one promotion" 1 (Coretime.stats ct).Coretime.promotions;
+  Alcotest.(check bool) "miss EWMA is large" true
+    (obj.Coretime.Object_table.ewma_misses > 100.0)
+
+let test_no_promotion_when_cache_resident () =
+  let machine, engine, ct = make () in
+  (* small object: after the first scan it lives in L1/L2 *)
+  let size = 4096 in
+  let ext = Memsys.alloc (Machine.memory machine) ~name:"small" ~size in
+  let obj = Coretime.register ct ~base:ext.Memsys.base ~size ~name:"small" () in
+  ignore
+    (Engine.spawn engine ~core:0 ~name:"t" (fun () ->
+         for _ = 1 to 50 do
+           Coretime.with_op ct ext.Memsys.base (fun () ->
+               scan ext.Memsys.base size)
+         done));
+  Engine.run engine;
+  Alcotest.(check bool) "never promoted" true (obj.Coretime.Object_table.home = None);
+  Alcotest.(check bool) "EWMA decayed" true (obj.Coretime.Object_table.ewma_misses < 8.0)
+
+let test_operations_migrate_to_home () =
+  let machine, engine, ct = make () in
+  let addr, obj = big_object ct machine "obj" in
+  Coretime.Object_table.assign (Coretime.table ct) obj 7;
+  let exec_core = ref (-1) and back_core = ref (-1) in
+  ignore
+    (Engine.spawn engine ~core:2 ~name:"t" (fun () ->
+         Coretime.ct_start ct addr;
+         exec_core := Api.current_core ();
+         Api.compute 100;
+         Coretime.ct_end ct;
+         back_core := Api.current_core ()));
+  Engine.run engine;
+  Alcotest.(check int) "ran on the object's home" 7 !exec_core;
+  Alcotest.(check int) "returned after ct_end" 2 !back_core;
+  Alcotest.(check int) "migration counted" 1
+    (Coretime.stats ct).Coretime.op_migrations;
+  Alcotest.(check int) "op retired on the home core" 1
+    (Machine.counters machine 7).Counters.ops_completed
+
+let test_no_migrate_back_policy () =
+  let machine, engine, ct =
+    make
+      ~policy:{ Coretime.Policy.default with Coretime.Policy.migrate_back = false }
+      ()
+  in
+  let addr, obj = big_object ct machine "obj" in
+  Coretime.Object_table.assign (Coretime.table ct) obj 5;
+  let final = ref (-1) in
+  ignore
+    (Engine.spawn engine ~core:0 ~name:"t" (fun () ->
+         Coretime.with_op ct addr (fun () -> Api.compute 10);
+         final := Api.current_core ()));
+  Engine.run engine;
+  Alcotest.(check int) "stayed on the home core" 5 !final
+
+let test_baseline_never_migrates () =
+  let machine, engine, ct = make ~policy:Coretime.Policy.baseline () in
+  let addr, obj = big_object ct machine "obj" in
+  Coretime.Object_table.assign (Coretime.table ct) obj 7;
+  let exec_core = ref (-1) in
+  ignore
+    (Engine.spawn engine ~core:2 ~name:"t" (fun () ->
+         Coretime.with_op ct addr (fun () ->
+             exec_core := Api.current_core ();
+             scan addr 65536)));
+  Engine.run engine;
+  Alcotest.(check int) "ran locally" 2 !exec_core;
+  Alcotest.(check int) "ops still counted" 1 (Coretime.stats ct).Coretime.ops;
+  Alcotest.(check int) "no migrations" 0
+    (Machine.counters machine 2).Counters.migrations_out
+
+let test_nested_regions_feed_clustering () =
+  let machine, engine, ct = make () in
+  let a, _ = big_object ct machine "a" in
+  let b, _ = big_object ct machine "b" in
+  ignore
+    (Engine.spawn engine ~core:0 ~name:"t" (fun () ->
+         for _ = 1 to 5 do
+           Coretime.ct_start ct a;
+           Api.compute 10;
+           Coretime.ct_start ct b;
+           Api.compute 10;
+           Coretime.ct_end ct;
+           Coretime.ct_end ct
+         done));
+  Engine.run engine;
+  Alcotest.(check int) "coaccess observed" 5
+    (Coretime.Clustering.coaccess_count (Coretime.clustering ct) a b);
+  Alcotest.(check int) "10 operations (2 per iteration)" 10
+    (Coretime.stats ct).Coretime.ops
+
+let test_replication_policy_skips_promotion () =
+  let policy =
+    {
+      Coretime.Policy.default with
+      Coretime.Policy.replicate_read_only = true;
+      replicate_min_ops = 4;
+      rebalance = false;  (* keep ops_period from resetting mid-test *)
+    }
+  in
+  let machine, engine, ct = make ~policy () in
+  let addr, obj = big_object ct machine "readonly-hot" in
+  let fill = filler machine in
+  ignore
+    (Engine.spawn engine ~core:0 ~name:"t" (fun () ->
+         for _ = 1 to 12 do
+           Coretime.with_op ct addr (fun () -> scan addr obj_size);
+           scan fill filler_size
+         done));
+  Engine.run engine;
+  Alcotest.(check bool) "left to the hardware" true
+    (obj.Coretime.Object_table.home = None);
+  Alcotest.(check bool) "replications counted" true
+    ((Coretime.stats ct).Coretime.replications > 0)
+
+let test_write_ops_disable_replication () =
+  let policy =
+    {
+      Coretime.Policy.default with
+      Coretime.Policy.replicate_read_only = true;
+      replicate_min_ops = 4;
+      rebalance = false;  (* keep ops_period from resetting mid-test *)
+    }
+  in
+  let machine, engine, ct = make ~policy () in
+  let addr, obj = big_object ct machine "written" in
+  let fill = filler machine in
+  ignore
+    (Engine.spawn engine ~core:0 ~name:"t" (fun () ->
+         for _ = 1 to 12 do
+           Coretime.with_op ct ~write:true addr (fun () -> scan addr obj_size);
+           scan fill filler_size
+         done));
+  Engine.run engine;
+  Alcotest.(check bool) "written object gets scheduled" true
+    (obj.Coretime.Object_table.home <> None)
+
+let test_ownership_accounting () =
+  let machine, engine, ct = make () in
+  let mem = Machine.memory machine in
+  let mk pid name =
+    let ext = Memsys.alloc mem ~name ~size:65536 in
+    ignore (Coretime.register ct ~pid ~base:ext.Memsys.base ~size:65536 ~name ());
+    ext.Memsys.base
+  in
+  let a = mk 1 "a" and b = mk 2 "b" in
+  ignore
+    (Engine.spawn engine ~core:0 ~name:"t" (fun () ->
+         for _ = 1 to 6 do
+           Coretime.with_op ct a (fun () -> Api.compute 3000)
+         done;
+         for _ = 1 to 2 do
+           Coretime.with_op ct b (fun () -> Api.compute 3000)
+         done));
+  Engine.run engine;
+  let own = Coretime.ownership ct in
+  Alcotest.(check int) "pid1 ops" 6 (Coretime.Ownership.ops own ~pid:1);
+  Alcotest.(check int) "pid2 ops" 2 (Coretime.Ownership.ops own ~pid:2);
+  Alcotest.(check (list int)) "pids" [ 1; 2 ] (Coretime.Ownership.pids own);
+  let s1 = Coretime.Ownership.share own ~pid:1 in
+  Alcotest.(check bool) "pid1 used about 3/4 of accounted time" true
+    (s1 > 0.70 && s1 < 0.80)
+
+let test_op_shipping_path () =
+  let policy =
+    { Coretime.Policy.default with Coretime.Policy.op_shipping = true }
+  in
+  let machine, engine, ct = make ~policy () in
+  let addr, obj = big_object ct machine "obj" in
+  Coretime.Object_table.assign (Coretime.table ct) obj 7;
+  let exec_core = ref (-1) and back = ref (-1) and cost = ref 0 in
+  ignore
+    (Engine.spawn engine ~core:2 ~name:"t" (fun () ->
+         let t0 = Api.now () in
+         Coretime.with_op ct addr (fun () ->
+             exec_core := Api.current_core ());
+         back := Api.current_core ();
+         cost := Api.now () - t0));
+  Engine.run engine;
+  Alcotest.(check int) "shipped to the home core" 7 !exec_core;
+  Alcotest.(check int) "and back" 2 !back;
+  Alcotest.(check bool) "round trip far cheaper than two migrations" true
+    (!cost < Config.migration_cycles Config.amd16);
+  Alcotest.(check int) "counted as an op migration" 1
+    (Coretime.stats ct).Coretime.op_migrations
+
+let test_policy_validation () =
+  let machine = Machine.create Config.amd16 in
+  let engine = Engine.create machine in
+  Alcotest.(check bool) "bad policy rejected" true
+    (match
+       Coretime.create
+         ~policy:{ Coretime.Policy.default with Coretime.Policy.ewma_alpha = 2.0 }
+         engine ()
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "ct_end without ct_start" `Quick test_ct_requires_thread_frame;
+    Alcotest.test_case "unregistered addresses run locally" `Quick test_unregistered_address_is_harmless;
+    Alcotest.test_case "expensive objects get promoted" `Quick test_promotion_after_expensive_ops;
+    Alcotest.test_case "cache-resident objects stay unscheduled" `Quick test_no_promotion_when_cache_resident;
+    Alcotest.test_case "operations migrate to the object" `Quick test_operations_migrate_to_home;
+    Alcotest.test_case "migrate_back=false leaves the thread" `Quick test_no_migrate_back_policy;
+    Alcotest.test_case "baseline is transparent" `Quick test_baseline_never_migrates;
+    Alcotest.test_case "nested regions feed clustering" `Quick test_nested_regions_feed_clustering;
+    Alcotest.test_case "replication policy leaves hot read-only objects" `Quick test_replication_policy_skips_promotion;
+    Alcotest.test_case "writes defeat replication" `Quick test_write_ops_disable_replication;
+    Alcotest.test_case "ownership accounting" `Quick test_ownership_accounting;
+    Alcotest.test_case "operation shipping (active messages)" `Quick test_op_shipping_path;
+    Alcotest.test_case "policy validation" `Quick test_policy_validation;
+  ]

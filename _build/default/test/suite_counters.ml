@@ -1,0 +1,45 @@
+open O2_simcore
+
+let test_diff_and_add () =
+  let a = Counters.create () in
+  a.Counters.loads <- 10;
+  a.Counters.dram_loads <- 4;
+  a.Counters.busy_cycles <- 100;
+  let snap = Counters.copy a in
+  a.Counters.loads <- 25;
+  a.Counters.dram_loads <- 5;
+  a.Counters.busy_cycles <- 180;
+  let d = Counters.diff a ~since:snap in
+  Alcotest.(check int) "loads delta" 15 d.Counters.loads;
+  Alcotest.(check int) "dram delta" 1 d.Counters.dram_loads;
+  Alcotest.(check int) "busy delta" 80 d.Counters.busy_cycles;
+  let acc = Counters.create () in
+  Counters.add_into acc d;
+  Counters.add_into acc d;
+  Alcotest.(check int) "accumulated" 30 acc.Counters.loads
+
+let test_copy_is_deep () =
+  let a = Counters.create () in
+  let b = Counters.copy a in
+  a.Counters.loads <- 7;
+  Alcotest.(check int) "copy unaffected" 0 b.Counters.loads
+
+let test_misses () =
+  let a = Counters.create () in
+  a.Counters.remote_hits <- 3;
+  a.Counters.dram_loads <- 4;
+  a.Counters.l2_hits <- 100;
+  Alcotest.(check int) "misses = remote + dram" 7 (Counters.misses a)
+
+let test_create_array () =
+  let arr = Counters.create_array 4 in
+  arr.(0).Counters.loads <- 5;
+  Alcotest.(check int) "independent cells" 0 arr.(1).Counters.loads
+
+let suite =
+  [
+    Alcotest.test_case "diff and accumulate" `Quick test_diff_and_add;
+    Alcotest.test_case "copy is deep" `Quick test_copy_is_deep;
+    Alcotest.test_case "miss definition" `Quick test_misses;
+    Alcotest.test_case "array cells independent" `Quick test_create_array;
+  ]

@@ -1,0 +1,206 @@
+(* The cooperative scheduler / discrete-event engine: clocks, costs,
+   migration, yielding, idle accounting, control events, determinism. *)
+
+open O2_simcore
+open O2_runtime
+
+let engine () = Engine.create (Machine.create Config.amd16)
+
+let test_spawn_runs () =
+  let e = engine () in
+  let ran = ref false in
+  ignore (Engine.spawn e ~core:0 ~name:"t" (fun () -> ran := true));
+  Engine.run e;
+  Alcotest.(check bool) "body ran" true !ran;
+  Alcotest.(check int) "no live threads" 0 (Engine.live_threads e)
+
+let test_compute_advances_clock () =
+  let e = engine () in
+  ignore (Engine.spawn e ~core:3 ~name:"t" (fun () -> Api.compute 1234));
+  Engine.run e;
+  Alcotest.(check int) "clock advanced" 1234 (Engine.core_clock e 3);
+  Alcotest.(check int) "busy cycles charged" 1234
+    (Machine.counters (Engine.machine e) 3).Counters.busy_cycles;
+  Alcotest.(check int) "other cores untouched" 0 (Engine.core_clock e 0)
+
+let test_read_effect_charges_machine_cost () =
+  let e = engine () in
+  let ext =
+    Memsys.alloc (Machine.memory (Engine.machine e)) ~name:"x" ~size:64
+  in
+  let cost = ref 0 in
+  ignore
+    (Engine.spawn e ~core:0 ~name:"t" (fun () ->
+         cost := Api.read ~addr:ext.Memsys.base ~len:8));
+  Engine.run e;
+  Alcotest.(check bool) "dram cost" true (!cost >= Config.amd16.Config.dram_latency);
+  Alcotest.(check int) "clock = cost" !cost (Engine.core_clock e 0)
+
+let test_migration () =
+  let e = engine () in
+  let trace = ref [] in
+  ignore
+    (Engine.spawn e ~core:2 ~name:"t" (fun () ->
+         trace := Api.current_core () :: !trace;
+         Api.migrate_to 9;
+         trace := Api.current_core () :: !trace;
+         Api.compute 10));
+  Engine.run e;
+  Alcotest.(check (list int)) "migrated" [ 9; 2 ] !trace;
+  let m = Engine.machine e in
+  Alcotest.(check int) "out counted" 1 (Machine.counters m 2).Counters.migrations_out;
+  Alcotest.(check int) "in counted" 1 (Machine.counters m 9).Counters.migrations_in;
+  Alcotest.(check int) "costs 2000 cycles end to end" 2010 (Engine.core_clock e 9)
+
+let test_migrate_to_self_is_free () =
+  let e = engine () in
+  ignore (Engine.spawn e ~core:1 ~name:"t" (fun () -> Api.migrate_to 1));
+  Engine.run e;
+  Alcotest.(check int) "no cycles" 0 (Engine.core_clock e 1);
+  Alcotest.(check int) "no migration counted" 0
+    (Machine.counters (Engine.machine e) 1).Counters.migrations_out
+
+let test_migrate_out_of_range () =
+  let e = engine () in
+  ignore (Engine.spawn e ~core:0 ~name:"t" (fun () -> Api.migrate_to 99));
+  Alcotest.check_raises "bad core" (Invalid_argument "migrate_to: core out of range")
+    (fun () -> Engine.run e)
+
+let test_yield_interleaves () =
+  let e = engine () in
+  let log = Buffer.create 16 in
+  let worker tag () =
+    for _ = 1 to 3 do
+      Buffer.add_string log tag;
+      Api.compute 10;
+      Api.yield ()
+    done
+  in
+  ignore (Engine.spawn e ~core:0 ~name:"a" (worker "a"));
+  ignore (Engine.spawn e ~core:0 ~name:"b" (worker "b"));
+  Engine.run e;
+  Alcotest.(check string) "round robin" "ababab" (Buffer.contents log)
+
+let test_two_cores_parallel_time () =
+  let e = engine () in
+  ignore (Engine.spawn e ~core:0 ~name:"a" (fun () -> Api.compute 1000));
+  ignore (Engine.spawn e ~core:1 ~name:"b" (fun () -> Api.compute 1000));
+  Engine.run e;
+  (* both finish at virtual time 1000: cores run in parallel *)
+  Alcotest.(check int) "virtual now" 1000 (Engine.now e)
+
+let test_idle_accounting () =
+  let e = engine () in
+  ignore (Engine.spawn e ~core:0 ~name:"t" (fun () -> Api.compute 400));
+  Engine.at e ~time:1000 (fun ~now:_ -> ());
+  Engine.run e;
+  Engine.finalize_idle e;
+  let c = Machine.counters (Engine.machine e) 0 in
+  Alcotest.(check int) "busy" 400 c.Counters.busy_cycles;
+  Alcotest.(check int) "idle = horizon - busy" 600 c.Counters.idle_cycles
+
+let test_control_events () =
+  let e = engine () in
+  let fired = ref [] in
+  Engine.at e ~time:500 (fun ~now -> fired := now :: !fired);
+  Engine.every e ~period:1000 (fun ~now -> fired := now :: !fired);
+  ignore (Engine.spawn e ~core:0 ~name:"t" (fun () -> Api.compute 3500));
+  Engine.run ~until:3500 e;
+  Alcotest.(check (list int)) "control callbacks" [ 3000; 2000; 1000; 500 ] !fired
+
+let test_run_until_resumable () =
+  let e = engine () in
+  let steps = ref 0 in
+  ignore
+    (Engine.spawn e ~core:0 ~name:"t" (fun () ->
+         while true do
+           Api.compute 100;
+           incr steps
+         done));
+  Engine.run ~until:1000 e;
+  let at_1000 = !steps in
+  Engine.run ~until:2000 e;
+  Alcotest.(check bool) "progressed in first window" true (at_1000 >= 9);
+  Alcotest.(check bool) "continued in second window" true (!steps >= 2 * at_1000 - 1)
+
+let test_stop_when () =
+  let e = engine () in
+  let steps = ref 0 in
+  ignore
+    (Engine.spawn e ~core:0 ~name:"t" (fun () ->
+         while true do
+           Api.compute 100;
+           incr steps
+         done));
+  Engine.run ~stop_when:(fun () -> !steps >= 5) e;
+  Alcotest.(check int) "stopped promptly" 5 !steps
+
+let test_determinism () =
+  let run_once () =
+    let e = engine () in
+    let ct = Coretime.create e () in
+    let spec = { O2_workload.Dir_workload.default_spec with dirs = 16 } in
+    let w = O2_workload.Dir_workload.build ct spec in
+    O2_workload.Dir_workload.spawn_threads w;
+    Engine.run ~until:3_000_000 e;
+    ( O2_workload.Dir_workload.lookups_done w,
+      Engine.events_processed e,
+      Array.map
+        (fun c -> c.Counters.dram_loads)
+        (Machine.all_counters (Engine.machine e)) )
+  in
+  let a = run_once () and b = run_once () in
+  Alcotest.(check bool) "identical runs" true (a = b)
+
+let test_ship_to_is_cheap () =
+  let e = engine () in
+  let cost = ref 0 in
+  ignore
+    (Engine.spawn e ~core:0 ~name:"t" (fun () ->
+         let t0 = Api.now () in
+         Api.ship_to 9;
+         cost := Api.now () - t0));
+  Engine.run e;
+  Alcotest.(check int) "active message = amsg cycles"
+    (Config.amsg_cycles Config.amd16)
+    !cost;
+  Alcotest.(check bool) "an order of magnitude under migration" true
+    (!cost * 4 < Config.migration_cycles Config.amd16);
+  Alcotest.(check int) "counted as a movement" 1
+    (Machine.counters (Engine.machine e) 9).Counters.migrations_in
+
+let test_daemons_do_not_keep_sim_alive () =
+  let e = engine () in
+  let ticks = ref 0 in
+  Engine.every e ~period:1000 (fun ~now:_ -> incr ticks);
+  ignore (Engine.spawn e ~core:0 ~name:"t" (fun () -> Api.compute 3500));
+  (* without the daemon rule this would never return *)
+  Engine.run e;
+  Alcotest.(check int) "monitor ticked while work existed" 3 !ticks;
+  Alcotest.(check bool) "virtual time stopped with the work" true
+    (Engine.now e <= 3500)
+
+let test_spawn_bad_core () =
+  let e = engine () in
+  Alcotest.check_raises "bad core" (Invalid_argument "Engine.spawn: bad core")
+    (fun () -> ignore (Engine.spawn e ~core:16 ~name:"t" (fun () -> ())))
+
+let suite =
+  [
+    Alcotest.test_case "spawn and run" `Quick test_spawn_runs;
+    Alcotest.test_case "compute charges the clock" `Quick test_compute_advances_clock;
+    Alcotest.test_case "reads cost machine cycles" `Quick test_read_effect_charges_machine_cost;
+    Alcotest.test_case "migration moves the thread and costs 2000" `Quick test_migration;
+    Alcotest.test_case "migrate to self is free" `Quick test_migrate_to_self_is_free;
+    Alcotest.test_case "migrate out of range rejected" `Quick test_migrate_out_of_range;
+    Alcotest.test_case "yield interleaves cooperatively" `Quick test_yield_interleaves;
+    Alcotest.test_case "cores advance in parallel virtual time" `Quick test_two_cores_parallel_time;
+    Alcotest.test_case "idle cycles account for gaps" `Quick test_idle_accounting;
+    Alcotest.test_case "at/every control events" `Quick test_control_events;
+    Alcotest.test_case "run ~until is resumable" `Quick test_run_until_resumable;
+    Alcotest.test_case "stop_when" `Quick test_stop_when;
+    Alcotest.test_case "simulation is deterministic" `Quick test_determinism;
+    Alcotest.test_case "ship_to moves cheaply (active messages)" `Quick test_ship_to_is_cheap;
+    Alcotest.test_case "daemon monitors never keep the sim alive" `Quick test_daemons_do_not_keep_sim_alive;
+    Alcotest.test_case "spawn validates the core" `Quick test_spawn_bad_core;
+  ]

@@ -1,0 +1,80 @@
+open O2_runtime
+
+let test_fifo_ties () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:5 "a";
+  Event_queue.push q ~time:5 "b";
+  Event_queue.push q ~time:5 "c";
+  let popped = List.init 3 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list string)) "insertion order on ties" [ "a"; "b"; "c" ] popped
+
+let test_time_order () =
+  let q = Event_queue.create () in
+  List.iter (fun t -> Event_queue.push q ~time:t t) [ 7; 1; 9; 3; 3; 0 ];
+  let rec drain acc =
+    match Event_queue.pop q with
+    | None -> List.rev acc
+    | Some (t, _) -> drain (t :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 3; 3; 7; 9 ] (drain [])
+
+let test_negative_time () =
+  let q = Event_queue.create () in
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Event_queue.push: negative time") (fun () ->
+      Event_queue.push q ~time:(-1) ())
+
+let test_peek_and_clear () =
+  let q = Event_queue.create () in
+  Alcotest.(check (option int)) "empty peek" None (Event_queue.peek_time q);
+  Event_queue.push q ~time:4 ();
+  Event_queue.push q ~time:2 ();
+  Alcotest.(check (option int)) "peek min" (Some 2) (Event_queue.peek_time q);
+  Alcotest.(check int) "length" 2 (Event_queue.length q);
+  Event_queue.clear q;
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q)
+
+let prop_sorted_stable =
+  QCheck2.Test.make ~name:"pops are sorted and stable" ~count:300
+    QCheck2.Gen.(list_size (int_bound 300) (int_bound 50))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iteri (fun i t -> Event_queue.push q ~time:t (t, i)) times;
+      if not (Event_queue.check_heap_property q) then false
+      else begin
+        let rec drain acc =
+          match Event_queue.pop q with
+          | None -> List.rev acc
+          | Some (_, payload) -> drain (payload :: acc)
+        in
+        let popped = drain [] in
+        let expected =
+          List.mapi (fun i t -> (t, i)) times
+          |> List.stable_sort (fun (t1, i1) (t2, i2) ->
+                 if t1 <> t2 then compare t1 t2 else compare i1 i2)
+        in
+        popped = expected
+      end)
+
+let prop_interleaved =
+  QCheck2.Test.make ~name:"interleaved push/pop keeps heap property" ~count:200
+    QCheck2.Gen.(list_size (int_bound 200) (option (int_bound 40)))
+    (fun ops ->
+      let q = Event_queue.create () in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Some t -> Event_queue.push q ~time:t ()
+          | None -> ignore (Event_queue.pop q));
+          Event_queue.check_heap_property q)
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "FIFO on equal times" `Quick test_fifo_ties;
+    Alcotest.test_case "time ordering" `Quick test_time_order;
+    Alcotest.test_case "rejects negative time" `Quick test_negative_time;
+    Alcotest.test_case "peek and clear" `Quick test_peek_and_clear;
+    QCheck_alcotest.to_alcotest prop_sorted_stable;
+    QCheck_alcotest.to_alcotest prop_interleaved;
+  ]

@@ -1,0 +1,110 @@
+(* Experiment-level checks: the latency table matches Section 5 exactly,
+   the registry is sound, and a scaled-down Figure 4 point reproduces the
+   paper's qualitative claim (CoreTime wins once data exceeds the per-chip
+   L3). *)
+
+open O2_experiments
+
+let test_latency_matches_paper () =
+  Alcotest.(check (float 1e-9)) "simulated machine hits the paper's numbers"
+    0.0
+    (Latency_table.max_deviation ())
+
+let test_latency_rows_complete () =
+  let rows = Latency_table.all () in
+  Alcotest.(check int) "nine probes" 9 (List.length rows);
+  let migration = List.nth rows 8 in
+  Alcotest.(check int) "migration measures 2000" 2000
+    migration.Latency_table.measured_cycles
+
+let test_registry_sound () =
+  let ids = Registry.ids () in
+  Alcotest.(check bool) "non-empty" true (ids <> []);
+  Alcotest.(check int) "ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun id ->
+      match Registry.find id with
+      | Some e -> Alcotest.(check string) "find returns the entry" id e.Registry.id
+      | None -> Alcotest.failf "missing %s" id)
+    ids;
+  Alcotest.(check bool) "unknown id is an error" true
+    (Result.is_error
+       (Registry.run_ids ~quick:true Format.str_formatter [ "nope" ]));
+  Alcotest.(check bool) "default set non-empty" true
+    (List.exists (fun e -> e.Registry.default_set) Registry.all)
+
+let test_harness_point_shape () =
+  let spec = O2_workload.Dir_workload.spec_for_data_kb ~kb:1024 () in
+  let p =
+    Harness.run
+      (Harness.setup ~policy:Coretime.Policy.baseline ~warmup:2_000_000
+         ~measure:2_000_000 spec)
+  in
+  Alcotest.(check int) "data size recorded" 1024 p.Harness.data_kb;
+  Alcotest.(check bool) "ops measured" true (p.Harness.ops > 0);
+  Alcotest.(check bool) "throughput positive" true (p.Harness.kres_per_sec > 0.0);
+  Alcotest.(check int) "baseline never migrates" 0 p.Harness.op_migrations
+
+let test_kb_ladder () =
+  let full = Harness.kb_ladder ~quick:false in
+  let quick = Harness.kb_ladder ~quick:true in
+  Alcotest.(check bool) "quick is a subset" true
+    (List.for_all (fun kb -> List.mem kb full) quick);
+  Alcotest.(check bool) "covers the paper's range" true
+    (List.hd full <= 256 && List.nth full (List.length full - 1) >= 20480);
+  Alcotest.(check bool) "sorted" true (List.sort compare full = full)
+
+(* The headline claim, scaled down: at 6.4 MB (beyond every L3, inside
+   total on-chip memory) CoreTime beats the thread scheduler by a wide
+   margin; at 1 MB (fits in each chip's L3) they are comparable. *)
+let test_paper_claim_beyond_l3 () =
+  let run policy kb =
+    let spec = O2_workload.Dir_workload.spec_for_data_kb ~kb () in
+    (Harness.run
+       (Harness.setup ~policy ~warmup:30_000_000 ~measure:15_000_000 spec))
+      .Harness.kres_per_sec
+  in
+  let base = run Coretime.Policy.baseline 6400 in
+  let ct = run Coretime.Policy.default 6400 in
+  Alcotest.(check bool)
+    (Printf.sprintf "CoreTime wins beyond L3 (%.0f vs %.0f)" ct base)
+    true
+    (ct > 1.5 *. base)
+
+let test_paper_claim_fits_in_l3 () =
+  let run policy kb =
+    let spec = O2_workload.Dir_workload.spec_for_data_kb ~kb () in
+    (Harness.run
+       (Harness.setup ~policy ~warmup:10_000_000 ~measure:10_000_000 spec))
+      .Harness.kres_per_sec
+  in
+  let base = run Coretime.Policy.baseline 1024 in
+  let ct = run Coretime.Policy.default 1024 in
+  Alcotest.(check bool)
+    (Printf.sprintf "no collapse when data fits on chip (%.0f vs %.0f)" ct base)
+    true
+    (ct > 0.8 *. base)
+
+let test_fig2_partitioning () =
+  let o2 = Fig2.run_one ~policy:Fig2.o2_policy ~scheduler:"o2" in
+  let thread =
+    Fig2.run_one ~policy:Coretime.Policy.baseline ~scheduler:"thread"
+  in
+  Alcotest.(check bool) "O2 keeps more distinct data on chip" true
+    (o2.Fig2.distinct_lines > thread.Fig2.distinct_lines);
+  Alcotest.(check bool) "O2 leaves no more off-chip than the thread scheduler"
+    true
+    (List.length o2.Fig2.off_chip <= List.length thread.Fig2.off_chip)
+
+let suite =
+  [
+    Alcotest.test_case "latencies match Section 5" `Quick test_latency_matches_paper;
+    Alcotest.test_case "latency table is complete" `Quick test_latency_rows_complete;
+    Alcotest.test_case "experiment registry" `Quick test_registry_sound;
+    Alcotest.test_case "harness point fields" `Quick test_harness_point_shape;
+    Alcotest.test_case "figure 4 x-axis ladder" `Quick test_kb_ladder;
+    Alcotest.test_case "paper claim: CoreTime wins beyond L3" `Slow test_paper_claim_beyond_l3;
+    Alcotest.test_case "paper claim: parity when data fits" `Slow test_paper_claim_fits_in_l3;
+    Alcotest.test_case "figure 2: O2 partitions the caches" `Slow test_fig2_partitioning;
+  ]

@@ -1,0 +1,151 @@
+(* Unit and property tests for the array-based LRU set. The property test
+   drives it against a naive reference model (a list ordered
+   most-recently-used first). *)
+
+open O2_simcore
+
+let check = Alcotest.check
+let intopt = Alcotest.(option int)
+
+let test_create_invalid () =
+  Alcotest.check_raises "zero capacity" (Invalid_argument "Lru.create: capacity must be positive")
+    (fun () -> ignore (Lru.create ~cap:0))
+
+let test_add_and_mem () =
+  let t = Lru.create ~cap:3 in
+  check intopt "no eviction" None (Lru.add t 1);
+  check intopt "no eviction" None (Lru.add t 2);
+  check intopt "no eviction" None (Lru.add t 3);
+  check Alcotest.bool "mem 1" true (Lru.mem t 1);
+  check intopt "evicts lru (1)" (Some 1) (Lru.add t 4);
+  check Alcotest.bool "1 gone" false (Lru.mem t 1);
+  check Alcotest.int "length" 3 (Lru.length t)
+
+let test_touch_protects () =
+  let t = Lru.create ~cap:3 in
+  List.iter (fun k -> ignore (Lru.add t k)) [ 1; 2; 3 ];
+  check Alcotest.bool "touch 1" true (Lru.touch t 1);
+  (* now 2 is least recently used *)
+  check intopt "evicts 2" (Some 2) (Lru.add t 4);
+  check Alcotest.bool "1 survives" true (Lru.mem t 1)
+
+let test_add_present_is_touch () =
+  let t = Lru.create ~cap:2 in
+  ignore (Lru.add t 1);
+  ignore (Lru.add t 2);
+  check intopt "re-add touches, no evict" None (Lru.add t 1);
+  check intopt "then 2 is the victim" (Some 2) (Lru.add t 3)
+
+let test_remove () =
+  let t = Lru.create ~cap:2 in
+  ignore (Lru.add t 1);
+  ignore (Lru.add t 2);
+  check Alcotest.bool "removed" true (Lru.remove t 1);
+  check Alcotest.bool "second remove false" false (Lru.remove t 1);
+  check Alcotest.int "length" 1 (Lru.length t);
+  check intopt "room again" None (Lru.add t 3)
+
+let test_order () =
+  let t = Lru.create ~cap:4 in
+  List.iter (fun k -> ignore (Lru.add t k)) [ 1; 2; 3; 4 ];
+  check Alcotest.(list int) "mru first" [ 4; 3; 2; 1 ] (Lru.to_list t);
+  ignore (Lru.touch t 2);
+  check Alcotest.(list int) "touched to front" [ 2; 4; 3; 1 ] (Lru.to_list t);
+  check intopt "lru key" (Some 1) (Lru.lru_key t)
+
+let test_clear () =
+  let t = Lru.create ~cap:4 in
+  List.iter (fun k -> ignore (Lru.add t k)) [ 1; 2; 3 ];
+  Lru.clear t;
+  check Alcotest.int "empty" 0 (Lru.length t);
+  check Alcotest.bool "gone" false (Lru.mem t 1);
+  ignore (Lru.add t 9);
+  check Alcotest.bool "usable after clear" true (Lru.mem t 9)
+
+let test_capacity_one () =
+  let t = Lru.create ~cap:1 in
+  check intopt "fill" None (Lru.add t 1);
+  check intopt "evict" (Some 1) (Lru.add t 2);
+  check Alcotest.bool "only 2" true (Lru.mem t 2 && not (Lru.mem t 1))
+
+(* Reference model: MRU-first list. *)
+module Model = struct
+  type t = { cap : int; mutable l : int list }
+
+  let create cap = { cap; l = [] }
+  let mem m k = List.mem k m.l
+  let touch m k =
+    if mem m k then begin
+      m.l <- k :: List.filter (( <> ) k) m.l;
+      true
+    end
+    else false
+
+  let add m k =
+    if touch m k then None
+    else begin
+      let victim =
+        if List.length m.l >= m.cap then begin
+          let rec last = function
+            | [ x ] -> x
+            | _ :: tl -> last tl
+            | [] -> assert false
+          in
+          let v = last m.l in
+          m.l <- List.filter (( <> ) v) m.l;
+          Some v
+        end
+        else None
+      in
+      m.l <- k :: m.l;
+      victim
+    end
+
+  let remove m k =
+    let present = mem m k in
+    m.l <- List.filter (( <> ) k) m.l;
+    present
+end
+
+type op = Add of int | Touch of int | Remove of int
+
+let op_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun k -> Add k) (int_bound 40);
+        map (fun k -> Touch k) (int_bound 40);
+        map (fun k -> Remove k) (int_bound 40);
+      ])
+
+let prop_matches_model =
+  QCheck2.Test.make ~name:"lru matches reference model" ~count:300
+    QCheck2.Gen.(pair (int_range 1 12) (list_size (int_bound 200) op_gen))
+    (fun (cap, ops) ->
+      let t = Lru.create ~cap in
+      let m = Model.create cap in
+      List.for_all
+        (fun op ->
+          let same =
+            match op with
+            | Add k -> Lru.add t k = Model.add m k
+            | Touch k -> Lru.touch t k = Model.touch m k
+            | Remove k -> Lru.remove t k = Model.remove m k
+          in
+          same
+          && Lru.to_list t = m.Model.l
+          && Result.is_ok (Lru.check_invariants t))
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "create rejects bad capacity" `Quick test_create_invalid;
+    Alcotest.test_case "add, mem, evict" `Quick test_add_and_mem;
+    Alcotest.test_case "touch protects from eviction" `Quick test_touch_protects;
+    Alcotest.test_case "adding a present key touches" `Quick test_add_present_is_touch;
+    Alcotest.test_case "remove frees a slot" `Quick test_remove;
+    Alcotest.test_case "recency order" `Quick test_order;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "capacity one" `Quick test_capacity_one;
+    QCheck_alcotest.to_alcotest prop_matches_model;
+  ]

@@ -1,0 +1,88 @@
+open Coretime
+
+let table () = Object_table.create ~cores:4 ~budget_per_core:1000
+
+let test_register_and_find () =
+  let t = table () in
+  let o = Object_table.register t ~base:0x1000 ~size:100 ~name:"a" () in
+  Alcotest.(check bool) "found by base" true (Object_table.find t 0x1000 = Some o);
+  Alcotest.(check bool) "miss" true (Object_table.find t 0x2000 = None);
+  Alcotest.(check int) "one object" 1 (Object_table.size t);
+  Alcotest.(check bool) "unassigned" true (o.Object_table.home = None)
+
+let test_register_rejects () =
+  let t = table () in
+  ignore (Object_table.register t ~base:0x1000 ~size:100 ~name:"a" ());
+  Alcotest.(check bool) "duplicate base" true
+    (match Object_table.register t ~base:0x1000 ~size:1 ~name:"b" () with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "zero size" true
+    (match Object_table.register t ~base:0x3000 ~size:0 ~name:"c" () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_assign_accounting () =
+  let t = table () in
+  let a = Object_table.register t ~base:1 ~size:400 ~name:"a" () in
+  let b = Object_table.register t ~base:2 ~size:500 ~name:"b" () in
+  Object_table.assign t a 0;
+  Object_table.assign t b 0;
+  Alcotest.(check int) "used" 900 (Object_table.used t 0);
+  Alcotest.(check int) "free" 100 (Object_table.free_space t 0);
+  Alcotest.(check int) "assigned count" 2 (Object_table.assigned_count t);
+  (* moving updates both cores *)
+  Object_table.assign t b 2;
+  Alcotest.(check int) "source released" 400 (Object_table.used t 0);
+  Alcotest.(check int) "destination charged" 500 (Object_table.used t 2);
+  Object_table.unassign t a;
+  Object_table.unassign t a;
+  Alcotest.(check int) "unassign idempotent" 0 (Object_table.used t 0);
+  Alcotest.(check bool) "accounting invariant" true
+    (Result.is_ok (Object_table.check_accounting t))
+
+let test_fits_and_place () =
+  let t = table () in
+  let big = Object_table.register t ~base:1 ~size:900 ~name:"big" () in
+  let small = Object_table.register t ~base:2 ~size:200 ~name:"small" () in
+  Object_table.assign t big 0;
+  Alcotest.(check bool) "small does not fit core 0" false
+    (Object_table.fits t ~core:0 small);
+  Alcotest.(check bool) "small fits core 1" true (Object_table.fits t ~core:1 small);
+  Alcotest.(check bool) "can place somewhere" true (Object_table.can_place t small);
+  Alcotest.(check (float 0.001)) "occupancy" 0.225 (Object_table.occupancy t)
+
+let test_objects_in_registration_order () =
+  let t = table () in
+  let names = [ "x"; "y"; "z" ] in
+  List.iteri
+    (fun i n -> ignore (Object_table.register t ~base:i ~size:1 ~name:n ()))
+    names;
+  Alcotest.(check (list string)) "order kept" names
+    (List.map (fun o -> o.Object_table.name) (Object_table.objects t))
+
+let prop_accounting_invariant =
+  QCheck2.Test.make ~name:"budget accounting matches assignments" ~count:200
+    QCheck2.Gen.(list_size (int_bound 100) (pair (int_bound 19) (int_bound 4)))
+    (fun moves ->
+      let t = Object_table.create ~cores:4 ~budget_per_core:100000 in
+      let objs =
+        Array.init 20 (fun i ->
+            Object_table.register t ~base:i ~size:((i + 1) * 7) ~name:"o" ())
+      in
+      List.iter
+        (fun (oi, core) ->
+          if core = 4 then Object_table.unassign t objs.(oi)
+          else Object_table.assign t objs.(oi) core)
+        moves;
+      Result.is_ok (Object_table.check_accounting t))
+
+let suite =
+  [
+    Alcotest.test_case "register and find" `Quick test_register_and_find;
+    Alcotest.test_case "register rejects bad input" `Quick test_register_rejects;
+    Alcotest.test_case "assignment accounting" `Quick test_assign_accounting;
+    Alcotest.test_case "fits / can_place / occupancy" `Quick test_fits_and_place;
+    Alcotest.test_case "objects keep registration order" `Quick test_objects_in_registration_order;
+    QCheck_alcotest.to_alcotest prop_accounting_invariant;
+  ]

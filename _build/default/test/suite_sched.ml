@@ -1,0 +1,63 @@
+let test_round_robin () =
+  let p =
+    O2_sched.Thread_sched.assign ~threads:6 ~cores:4 ~cores_per_chip:2
+      ~similarity:(fun _ _ -> 0.0)
+  in
+  Alcotest.(check (list int)) "wraps" [ 0; 1; 2; 3; 0; 1 ] (Array.to_list p)
+
+let test_clusters_group_similar_threads () =
+  (* threads 0-2 share a working set, threads 3-5 share another *)
+  let similarity a b =
+    if (a < 3 && b < 3) || (a >= 3 && b >= 3) then 1.0 else 0.0
+  in
+  let c = O2_sched.Clustered_sched.clusters ~threads:6 ~groups:2 ~similarity in
+  let group i = c.(i) in
+  Alcotest.(check bool) "first trio together" true
+    (group 0 = group 1 && group 1 = group 2);
+  Alcotest.(check bool) "second trio together" true
+    (group 3 = group 4 && group 4 = group 5);
+  Alcotest.(check bool) "groups distinct" true (group 0 <> group 3)
+
+let test_clusters_balanced () =
+  let c =
+    O2_sched.Clustered_sched.clusters ~threads:8 ~groups:2
+      ~similarity:(fun _ _ -> 1.0)
+  in
+  let count g = Array.fold_left (fun n x -> if x = g then n + 1 else n) 0 c in
+  Alcotest.(check int) "half each" 4 (count 0);
+  Alcotest.(check int) "half each" 4 (count 1)
+
+let test_assign_places_cluster_on_one_chip () =
+  let similarity a b =
+    if (a < 4 && b < 4) || (a >= 4 && b >= 4) then 1.0 else 0.0
+  in
+  let p =
+    O2_sched.Clustered_sched.assign ~threads:8 ~cores:8 ~cores_per_chip:4
+      ~similarity
+  in
+  let chip t = p.(t) / 4 in
+  Alcotest.(check bool) "first cluster shares a chip" true
+    (chip 0 = chip 1 && chip 1 = chip 2 && chip 2 = chip 3);
+  Alcotest.(check bool) "clusters on different chips" true (chip 0 <> chip 4);
+  (* all cores valid and the cluster spreads within the chip *)
+  Array.iter (fun core -> Alcotest.(check bool) "core in range" true (core >= 0 && core < 8)) p;
+  Alcotest.(check int) "4 distinct cores in cluster 0" 4
+    (List.length (List.sort_uniq compare [ p.(0); p.(1); p.(2); p.(3) ]))
+
+let test_all_threads_assigned () =
+  let c =
+    O2_sched.Clustered_sched.clusters ~threads:7 ~groups:3
+      ~similarity:(fun _ _ -> 0.5)
+  in
+  Array.iter
+    (fun g -> Alcotest.(check bool) "assigned" true (g >= 0 && g < 3))
+    c
+
+let suite =
+  [
+    Alcotest.test_case "round-robin placement" `Quick test_round_robin;
+    Alcotest.test_case "clustering groups similar threads" `Quick test_clusters_group_similar_threads;
+    Alcotest.test_case "clusters are balanced" `Quick test_clusters_balanced;
+    Alcotest.test_case "clusters map onto chips" `Quick test_assign_places_cluster_on_one_chip;
+    Alcotest.test_case "every thread gets a group" `Quick test_all_threads_assigned;
+  ]

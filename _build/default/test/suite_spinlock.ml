@@ -1,0 +1,125 @@
+open O2_simcore
+open O2_runtime
+
+let setup () =
+  let machine = Machine.create Config.amd16 in
+  let engine = Engine.create machine in
+  let lock = Spinlock.create (Machine.memory machine) ~name:"l" in
+  (machine, engine, lock)
+
+let test_uncontended () =
+  let _, e, l = setup () in
+  let held_inside = ref false in
+  ignore
+    (Engine.spawn e ~core:0 ~name:"t" (fun () ->
+         Api.lock l;
+         held_inside := Spinlock.held l;
+         Api.unlock l));
+  Engine.run e;
+  Alcotest.(check bool) "held inside" true !held_inside;
+  Alcotest.(check bool) "released" false (Spinlock.held l);
+  Alcotest.(check int) "one acquisition" 1 l.Spinlock.acquisitions;
+  Alcotest.(check int) "never contended" 0 l.Spinlock.contended
+
+let test_mutual_exclusion () =
+  let _, e, l = setup () in
+  let inside = ref 0 and max_inside = ref 0 and total = ref 0 in
+  let worker core =
+    ignore
+      (Engine.spawn e ~core ~name:(Printf.sprintf "w%d" core) (fun () ->
+           for _ = 1 to 20 do
+             Api.lock l;
+             incr inside;
+             if !inside > !max_inside then max_inside := !inside;
+             Api.compute 500;
+             incr total;
+             decr inside;
+             Api.unlock l
+           done))
+  in
+  List.iter worker [ 0; 1; 5; 9 ];
+  Engine.run e;
+  Alcotest.(check int) "never two inside" 1 !max_inside;
+  Alcotest.(check int) "all critical sections ran" 80 !total;
+  Alcotest.(check int) "80 acquisitions" 80 l.Spinlock.acquisitions;
+  Alcotest.(check bool) "some contention" true (l.Spinlock.contended > 0)
+
+let test_spin_cycles_counted () =
+  let m, e, l = setup () in
+  ignore
+    (Engine.spawn e ~core:0 ~name:"holder" (fun () ->
+         Api.lock l;
+         Api.compute 10_000;
+         Api.unlock l));
+  ignore
+    (Engine.spawn e ~core:1 ~name:"waiter" (fun () ->
+         Api.compute 100;
+         (* ensure the holder got there first *)
+         Api.lock l;
+         Api.unlock l));
+  Engine.run e;
+  let c = Machine.counters m 1 in
+  Alcotest.(check bool) "waiter spun for most of the critical section" true
+    (c.Counters.spin_cycles > 8_000)
+
+let test_fifo_handoff () =
+  let _, e, l = setup () in
+  let order = ref [] in
+  ignore
+    (Engine.spawn e ~core:0 ~name:"holder" (fun () ->
+         Api.lock l;
+         Api.compute 5_000;
+         Api.unlock l));
+  (* waiters arrive in core order because of deterministic scheduling *)
+  List.iter
+    (fun core ->
+      ignore
+        (Engine.spawn e ~core ~name:(Printf.sprintf "w%d" core) (fun () ->
+             Api.compute (100 * (core + 1));
+             Api.lock l;
+             order := core :: !order;
+             Api.unlock l)))
+    [ 1; 2; 3 ];
+  Engine.run e;
+  Alcotest.(check (list int)) "granted in arrival order" [ 1; 2; 3 ]
+    (List.rev !order)
+
+let test_release_not_owner_raises () =
+  let _, e, l = setup () in
+  ignore (Engine.spawn e ~core:0 ~name:"t" (fun () -> Api.unlock l));
+  Alcotest.(check bool) "raises Not_lock_owner" true
+    (match Engine.run e with
+    | () -> false
+    | exception Engine.Not_lock_owner _ -> true)
+
+let test_lock_line_bounces () =
+  let m, e, l = setup () in
+  (* two cores alternating on the lock force coherence invalidations *)
+  let worker core =
+    ignore
+      (Engine.spawn e ~core ~name:(Printf.sprintf "w%d" core) (fun () ->
+           for _ = 1 to 10 do
+             Api.lock l;
+             Api.compute 50;
+             Api.unlock l;
+             Api.compute 50
+           done))
+  in
+  worker 0;
+  worker 8;
+  Engine.run e;
+  let inval =
+    (Machine.counters m 0).Counters.invalidations_sent
+    + (Machine.counters m 8).Counters.invalidations_sent
+  in
+  Alcotest.(check bool) "lock line bounced between chips" true (inval > 5)
+
+let suite =
+  [
+    Alcotest.test_case "uncontended acquire/release" `Quick test_uncontended;
+    Alcotest.test_case "mutual exclusion" `Quick test_mutual_exclusion;
+    Alcotest.test_case "spin cycles are charged" `Quick test_spin_cycles_counted;
+    Alcotest.test_case "FIFO hand-off" `Quick test_fifo_handoff;
+    Alcotest.test_case "releasing unowned lock raises" `Quick test_release_not_owner_raises;
+    Alcotest.test_case "contended lock bounces its line" `Quick test_lock_line_bounces;
+  ]
