@@ -1,0 +1,45 @@
+open O2_runtime
+open O2_simcore
+
+type t = {
+  report_ : Report.t;
+  lockset : Lockset.t;
+  lock_order : Lock_order.t;
+  invariants : Invariants.t;
+}
+
+let attach_engine ?granularity ?limit ?table ?migrate_back engine =
+  let report_ = Report.create ?limit () in
+  let mem = Machine.memory (Engine.machine engine) in
+  let name_of addr =
+    match Memsys.object_at mem ~addr with
+    | Some e -> Some e.Memsys.name
+    | None -> None
+  in
+  let lockset = Lockset.create ?granularity ~report:report_ ~name_of () in
+  let lock_order = Lock_order.create ~report:report_ () in
+  let invariants =
+    Invariants.create ~report:report_ ~name_of ?table
+      ~cores:(Engine.cores engine) ?migrate_back ()
+  in
+  let t = { report_; lockset; lock_order; invariants } in
+  Probe.subscribe (Engine.probe engine) (fun ev ->
+      Lockset.on_event lockset ev;
+      Lock_order.on_event lock_order ev;
+      Invariants.on_event invariants ev);
+  t
+
+let attach ?granularity ?limit ct =
+  attach_engine ?granularity ?limit ~table:(Coretime.table ct)
+    ~migrate_back:(Coretime.policy ct).Coretime.Policy.migrate_back
+    (Coretime.engine ct)
+
+let finish t =
+  Lock_order.finish t.lock_order;
+  Invariants.finish t.invariants
+
+let report t = t.report_
+let diagnostics t = Report.diagnostics t.report_
+let is_clean t = Report.is_clean t.report_
+let races t = Lockset.races_found t.lockset
+let pp ppf t = Report.pp ppf t.report_

@@ -1,0 +1,202 @@
+(* Replace comments (nested) and string literals with spaces, preserving
+   newlines so reported line numbers stay correct. A full lexer is not
+   needed: we only have to avoid false matches inside prose. *)
+let strip source =
+  let n = String.length source in
+  let out = Bytes.of_string source in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let rec code i =
+    if i >= n then ()
+    else if i + 1 < n && source.[i] = '(' && source.[i + 1] = '*' then begin
+      blank i;
+      blank (i + 1);
+      comment (i + 2) 1
+    end
+    else if source.[i] = '"' then begin
+      blank i;
+      string (i + 1)
+    end
+    else code (i + 1)
+  and comment i depth =
+    if i >= n then ()
+    else if i + 1 < n && source.[i] = '(' && source.[i + 1] = '*' then begin
+      blank i;
+      blank (i + 1);
+      comment (i + 2) (depth + 1)
+    end
+    else if i + 1 < n && source.[i] = '*' && source.[i + 1] = ')' then begin
+      blank i;
+      blank (i + 1);
+      if depth = 1 then code (i + 2) else comment (i + 2) (depth - 1)
+    end
+    else begin
+      blank i;
+      comment (i + 1) depth
+    end
+  and string i =
+    if i >= n then ()
+    else if source.[i] = '\\' && i + 1 < n then begin
+      blank i;
+      blank (i + 1);
+      string (i + 2)
+    end
+    else if source.[i] = '"' then begin
+      blank i;
+      code (i + 1)
+    end
+    else begin
+      blank i;
+      string (i + 1)
+    end
+  in
+  code 0;
+  Bytes.to_string out
+
+let is_ident_char = function
+  | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '\'' -> true
+  | _ -> false
+
+(* Occurrences of [pat] in [line] that start at an identifier boundary,
+   so e.g. "My_Mutex." does not match "Mutex.". *)
+let contains_token line pat =
+  let n = String.length line and m = String.length pat in
+  let rec go i =
+    if i + m > n then false
+    else if
+      String.sub line i m = pat && (i = 0 || not (is_ident_char line.[i - 1]))
+    then true
+    else go (i + 1)
+  in
+  go 0
+
+(* [ignore (Api.lock ...)] possibly with extra spaces. *)
+let ignored_result_re line callee =
+  let n = String.length line in
+  let rec skip_spaces i = if i < n && line.[i] = ' ' then skip_spaces (i + 1) else i in
+  let rec go i =
+    match String.index_from_opt line i 'i' with
+    | None -> false
+    | Some i ->
+        if
+          i + 6 <= n
+          && String.sub line i 6 = "ignore"
+          && (i = 0 || not (is_ident_char line.[i - 1]))
+        then begin
+          let j = skip_spaces (i + 6) in
+          if j < n && line.[j] = '(' then
+            let k = skip_spaces (j + 1) in
+            let m = String.length callee in
+            if k + m <= n && String.sub line k m = callee then true
+            else go (i + 1)
+          else go (i + 1)
+        end
+        else go (i + 1)
+  in
+  go 0
+
+let mk ~path ~lineno ~code message =
+  Diagnostic.make ~checker:"lint" ~code ~subject:path
+    (Printf.sprintf "%s:%d: %s" path lineno message)
+
+let scan_string ~path ?allow_raw_primitives contents =
+  let allow_raw =
+    match allow_raw_primitives with
+    | Some b -> b
+    | None ->
+        (* The runtime layer is the one place allowed to name the real
+           concurrency primitives (it replaces them). *)
+        let rec has_runtime = function
+          | [] -> false
+          | "runtime" :: _ -> true
+          | _ :: rest -> has_runtime rest
+        in
+        has_runtime (String.split_on_char '/' path)
+  in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let lines = String.split_on_char '\n' (strip contents) in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if contains_token line "Obj.magic" then
+        add
+          (mk ~path ~lineno ~code:"obj-magic"
+             "Obj.magic is banned (defeats the type system)");
+      if (not allow_raw) && contains_token line "Mutex." then
+        add
+          (mk ~path ~lineno ~code:"raw-mutex"
+             "raw Mutex use outside lib/runtime/ (use the engine's Spinlock \
+              through Api.lock/unlock)");
+      if (not allow_raw) && contains_token line "Domain." then
+        add
+          (mk ~path ~lineno ~code:"raw-domain"
+             "raw Domain use outside lib/runtime/ (spawn simulated threads \
+              with Engine.spawn)");
+      List.iter
+        (fun callee ->
+          if ignored_result_re line callee then
+            add
+              (mk ~path ~lineno ~code:"ignored-result"
+                 (Printf.sprintf
+                    "ignore (%s ...): this returns unit; the ignore hides \
+                     nothing and suggests a discarded status"
+                    callee)))
+        [ "Api.lock"; "Api.unlock"; "Engine.run" ])
+    lines;
+  List.rev !diags
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec walk dir acc =
+  match Sys.readdir dir with
+  | entries ->
+      Array.sort compare entries;
+      Array.fold_left
+        (fun acc entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then walk path acc else path :: acc)
+        acc entries
+  | exception Sys_error _ -> acc
+
+let scan_tree ~root =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let scan_dir ~mli_rule dir =
+    if Sys.file_exists dir && Sys.is_directory dir then begin
+      let files = List.rev (walk dir []) in
+      List.iter
+        (fun path ->
+          if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+          then
+            match read_file path with
+            | contents -> List.iter add (scan_string ~path contents)
+            | exception Sys_error e ->
+                add
+                  (Diagnostic.make ~checker:"lint" ~code:"unreadable"
+                     ~subject:path
+                     (Printf.sprintf "%s: cannot read: %s" path e)))
+        files;
+      if mli_rule then
+        List.iter
+          (fun path ->
+            if
+              Filename.check_suffix path ".ml"
+              && (not (Filename.check_suffix path "_intf.ml"))
+              && not (List.mem (path ^ "i") files)
+            then
+              add
+                (Diagnostic.make ~checker:"lint" ~code:"missing-mli"
+                   ~subject:path
+                   (Printf.sprintf
+                      "%s: library module without an interface file (.mli)"
+                      path)))
+          files
+    end
+  in
+  scan_dir ~mli_rule:true (Filename.concat root "lib");
+  scan_dir ~mli_rule:false (Filename.concat root "examples");
+  List.rev !diags

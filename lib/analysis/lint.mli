@@ -1,0 +1,29 @@
+(** Source lint: scans the repository's OCaml sources for patterns banned
+    in this codebase. Comments and string literals are stripped before
+    matching, so prose mentioning a banned construct is not flagged.
+
+    Rules (each a diagnostic [code]):
+
+    - [obj-magic] — [Obj.magic] defeats the type system; never needed in
+      a simulator.
+    - [raw-mutex] / [raw-domain] — [Mutex]/[Domain] primitives outside
+      [lib/runtime/]: all concurrency must flow through the deterministic
+      engine, or runs stop being reproducible.
+    - [ignored-result] — [ignore (Api.lock ...)], [ignore (Api.unlock ...)]
+      or [ignore (Engine.run ...)]: these return [unit]; wrapping them in
+      [ignore] suggests the author expected (and discarded) a result such
+      as an acquisition status.
+    - [missing-mli] — a [lib/] module without an interface file
+      ([*_intf.ml] module-type-only files are exempt). *)
+
+val scan_string : path:string -> ?allow_raw_primitives:bool -> string ->
+  Diagnostic.t list
+(** Scan one file's contents. [path] is used for reporting and for the
+    [lib/runtime/] exemption ([allow_raw_primitives] overrides it in
+    tests). Does not apply [missing-mli] (a directory-level rule). *)
+
+val scan_tree : root:string -> Diagnostic.t list
+(** Scan [root/lib] and [root/examples] recursively: every [.ml]/[.mli]
+    through {!scan_string}, plus the [missing-mli] rule for [lib/]
+    modules. Unreadable paths are reported as diagnostics rather than
+    raising. *)

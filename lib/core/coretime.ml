@@ -46,7 +46,9 @@ let create ?(policy = Policy.default) engine () =
       (float_of_int (Config.per_core_budget cfg) *. policy.Policy.budget_fraction)
   in
   let table_ = Object_table.create ~cores:(Config.cores cfg) ~budget_per_core:budget in
-  let rebalancer_ = Rebalancer.create policy table_ machine in
+  let rebalancer_ =
+    Rebalancer.create ~probe:(Engine.probe engine) policy table_ machine
+  in
   let t =
     {
       engine_ = engine;
@@ -140,10 +142,32 @@ let maybe_promote t (o : Object_table.obj) =
       | None -> ()  (* no cache has space: hardware keeps managing it *)
     end
 
+(* Publish operation boundaries so the analysis layer can check nesting
+   discipline and home-core affinity (no-op without subscribers). *)
+let emit_op_started t th ~addr ~home =
+  let p = Engine.probe t.engine_ in
+  if Probe.active p then
+    Probe.emit p
+      (Probe.Op_started
+         {
+           time = Api.now ();
+           core = th.Thread.core;
+           tid = th.Thread.id;
+           addr;
+           home;
+         })
+
+let emit_op_ended t th =
+  let p = Engine.probe t.engine_ in
+  if Probe.active p then
+    Probe.emit p
+      (Probe.Op_ended
+         { time = Api.now (); core = th.Thread.core; tid = th.Thread.id })
+
 let ct_start t ?(write = false) addr =
   let th = Api.self () in
   let tid = th.Thread.id in
-  if not t.policy_.Policy.enabled then
+  if not t.policy_.Policy.enabled then begin
     push_frame t tid
       {
         obj = None;
@@ -152,7 +176,9 @@ let ct_start t ?(write = false) addr =
         snap_remote = 0;
         snap_dram = 0;
         snap_busy = 0;
-      }
+      };
+    emit_op_started t th ~addr ~home:None
+  end
   else begin
     Api.compute t.policy_.Policy.ct_overhead;
     let obj = Object_table.find t.table_ addr in
@@ -162,9 +188,14 @@ let ct_start t ?(write = false) addr =
           parent.Object_table.base
     | _ -> ());
     (match obj with Some o -> maybe_promote t o | None -> ());
+    (* Read the home once: migrating yields, and the rebalancer may move
+       the object meanwhile — the operation still runs where we decided. *)
+    let home_target =
+      match obj with Some o -> o.Object_table.home | None -> None
+    in
     let migrated_from =
-      match obj with
-      | Some { Object_table.home = Some home; _ } when home <> th.Thread.core ->
+      match home_target with
+      | Some home when home <> th.Thread.core ->
           let from = th.Thread.core in
           t.stats_.op_migrations <- t.stats_.op_migrations + 1;
           if t.policy_.Policy.op_shipping then Api.ship_to home
@@ -181,12 +212,14 @@ let ct_start t ?(write = false) addr =
         snap_remote = c.Counters.remote_hits;
         snap_dram = c.Counters.dram_loads;
         snap_busy = c.Counters.busy_cycles;
-      }
+      };
+    emit_op_started t th ~addr ~home:home_target
   end
 
 let ct_end t =
   let th = Api.self () in
   let frame = pop_frame t th.Thread.id in
+  emit_op_ended t th;
   let machine = Engine.machine t.engine_ in
   let c = Machine.counters machine th.Thread.core in
   c.Counters.ops_completed <- c.Counters.ops_completed + 1;

@@ -12,16 +12,18 @@ type t = {
   policy : Policy.t;
   table : Object_table.t;
   machine : Machine.t;
+  probe : O2_runtime.Probe.t option;
   mutable last : Counters.t array;
   mutable last_now : int;
   stats_ : stats;
 }
 
-let create policy table machine =
+let create ?probe policy table machine =
   {
     policy;
     table;
     machine;
+    probe;
     last = Array.map Counters.copy (Machine.all_counters machine);
     last_now = 0;
     stats_ =
@@ -218,6 +220,7 @@ let step t ~now =
     Array.map2 (fun c l -> Counters.diff c ~since:l) current t.last
   in
   let period = now - t.last_now in
+  let moves0 = t.stats_.moves and demotions0 = t.stats_.demotions in
   t.stats_.periods <- t.stats_.periods + 1;
   if demotion_pressure t then demote_stale t;
   if t.policy.Policy.replicate_read_only then release_hot_read_only t;
@@ -227,4 +230,16 @@ let step t ~now =
     (fun o -> o.Object_table.ops_period <- 0)
     (Object_table.objects t.table);
   t.last <- Array.map Counters.copy current;
-  t.last_now <- now
+  t.last_now <- now;
+  (* Announce the period so invariant checkers can audit the table right
+     after the monitor mutated it. *)
+  match t.probe with
+  | Some p when O2_runtime.Probe.active p ->
+      O2_runtime.Probe.emit p
+        (O2_runtime.Probe.Rebalanced
+           {
+             time = now;
+             moves = t.stats_.moves - moves0;
+             demotions = t.stats_.demotions - demotions0;
+           })
+  | Some _ | None -> ()

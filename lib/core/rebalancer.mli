@@ -27,7 +27,11 @@ type stats = {
 type t
 
 val create :
+  ?probe:O2_runtime.Probe.t ->
   Policy.t -> Object_table.t -> O2_simcore.Machine.t -> t
+(** [probe] (normally the engine's) receives a [Rebalanced] event after
+    each {!step}, so analysis passes can audit the table the moment the
+    monitor has mutated it. *)
 
 val step : t -> now:int -> unit
 (** One monitor period: compute counter deltas since the previous step,

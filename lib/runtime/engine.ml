@@ -30,6 +30,7 @@ type t = {
   machine : Machine.t;
   cores_ : core_state array;
   queue : event Event_queue.t;
+  probe_ : Probe.t;
   mutable last_time : int;
   mutable next_thread_id : int;
   mutable events : int;
@@ -45,6 +46,7 @@ let create machine =
       Array.init n (fun cid ->
           { cid; clock = 0; runq = Queue.create (); busy = false; idle_since = 0 });
     queue = Event_queue.create ();
+    probe_ = Probe.create ();
     last_time = 0;
     next_thread_id = 0;
     events = 0;
@@ -53,6 +55,7 @@ let create machine =
   }
 
 let machine t = t.machine
+let probe t = t.probe_
 let cores t = Array.length t.cores_
 let now t = t.last_time
 let core_clock t c = t.cores_.(c).clock
@@ -103,6 +106,15 @@ let move_thread t th ~target ~send ~wire ~land_ k =
     csrc.Counters.migrations_out <- csrc.Counters.migrations_out + 1;
     cdst.Counters.migrations_in <- cdst.Counters.migrations_in + 1;
     th.Thread.migrations <- th.Thread.migrations + 1;
+    if Probe.active t.probe_ then
+      Probe.emit t.probe_
+        (Probe.Thread_moved
+           {
+             time = cs.clock;
+             tid = th.Thread.id;
+             from_core = src;
+             to_core = target;
+           });
     th.Thread.state <- Thread.Migrating;
     charge_busy t src send;
     let depart = cs.clock + send in
@@ -137,6 +149,17 @@ let handler t th =
         Some
           (fun k ->
             let cs = t.cores_.(th.Thread.core) in
+            if Probe.active t.probe_ then
+              Probe.emit t.probe_
+                (Probe.Mem
+                   {
+                     time = cs.clock;
+                     core = th.Thread.core;
+                     tid = th.Thread.id;
+                     kind = Probe.Load;
+                     addr;
+                     len;
+                   });
             let cost =
               Machine.read t.machine ~core:th.Thread.core ~now:cs.clock ~addr
                 ~len
@@ -148,6 +171,17 @@ let handler t th =
         Some
           (fun k ->
             let cs = t.cores_.(th.Thread.core) in
+            if Probe.active t.probe_ then
+              Probe.emit t.probe_
+                (Probe.Mem
+                   {
+                     time = cs.clock;
+                     core = th.Thread.core;
+                     tid = th.Thread.id;
+                     kind = Probe.Store;
+                     addr;
+                     len;
+                   });
             let cost =
               Machine.write t.machine ~core:th.Thread.core ~now:cs.clock ~addr
                 ~len
@@ -171,6 +205,19 @@ let handler t th =
             let acquire_word ~now0 =
               (* Taking the lock writes its line (read-for-ownership). *)
               l.Spinlock.acquisitions <- l.Spinlock.acquisitions + 1;
+              if Probe.active t.probe_ then
+                Probe.emit t.probe_
+                  (Probe.Lock_acquired
+                     {
+                       time = now0;
+                       core = th.Thread.core;
+                       tid = th.Thread.id;
+                       lock =
+                         {
+                           Probe.lock_name = l.Spinlock.name;
+                           lock_addr = l.Spinlock.addr;
+                         };
+                     });
               let cost =
                 Machine.write t.machine ~core:th.Thread.core ~now:now0
                   ~addr:l.Spinlock.addr ~len:8
@@ -219,6 +266,19 @@ let handler t th =
                    (Printf.sprintf "thread %d releasing %s it does not hold"
                       th.Thread.id l.Spinlock.name));
             let cs = t.cores_.(th.Thread.core) in
+            if Probe.active t.probe_ then
+              Probe.emit t.probe_
+                (Probe.Lock_released
+                   {
+                     time = cs.clock;
+                     core = th.Thread.core;
+                     tid = th.Thread.id;
+                     lock =
+                       {
+                         Probe.lock_name = l.Spinlock.name;
+                         lock_addr = l.Spinlock.addr;
+                       };
+                   });
             let cost =
               Machine.write t.machine ~core:th.Thread.core ~now:cs.clock
                 ~addr:l.Spinlock.addr ~len:8
@@ -260,6 +320,14 @@ let handler t th =
       (fun () ->
         th.Thread.state <- Thread.Finished;
         t.live <- t.live - 1;
+        if Probe.active t.probe_ then
+          Probe.emit t.probe_
+            (Probe.Thread_finished
+               {
+                 time = t.cores_.(th.Thread.core).clock;
+                 core = th.Thread.core;
+                 tid = th.Thread.id;
+               });
         schedule t ~time:t.cores_.(th.Thread.core).clock
           (Release th.Thread.core));
     exnc = (fun e -> raise e);
@@ -271,6 +339,15 @@ let spawn t ~core ~name body =
   let th = Thread.make ~id:t.next_thread_id ~name ~core in
   t.next_thread_id <- t.next_thread_id + 1;
   t.live <- t.live + 1;
+  if Probe.active t.probe_ then
+    Probe.emit t.probe_
+      (Probe.Thread_spawned
+         {
+           time = max t.last_time t.cores_.(core).clock;
+           core;
+           tid = th.Thread.id;
+           name;
+         });
   let r =
     { thread = th; run = (fun () -> Effect.Deep.match_with body () (handler t th)) }
   in

@@ -23,6 +23,12 @@ val create : O2_simcore.Machine.t -> t
 val machine : t -> O2_simcore.Machine.t
 val cores : t -> int
 
+val probe : t -> Probe.t
+(** The engine's observation hooks: every memory access, lock transfer and
+    thread lifecycle event flows through this probe (see {!Probe}). The
+    analysis layer in [lib/analysis] subscribes here; with no subscribers
+    the hooks cost nothing. *)
+
 val spawn : t -> core:int -> name:string -> (unit -> unit) -> Thread.t
 (** Create a thread on [core]'s run queue, runnable at the current virtual
     time. The body runs when the engine next dispatches that core.

@@ -1,0 +1,34 @@
+type mem_kind = Load | Store
+
+type lock_info = { lock_name : string; lock_addr : int }
+
+type event =
+  | Mem of {
+      time : int;
+      core : int;
+      tid : int;
+      kind : mem_kind;
+      addr : int;
+      len : int;
+    }
+  | Lock_acquired of { time : int; core : int; tid : int; lock : lock_info }
+  | Lock_released of { time : int; core : int; tid : int; lock : lock_info }
+  | Thread_spawned of { time : int; core : int; tid : int; name : string }
+  | Thread_finished of { time : int; core : int; tid : int }
+  | Thread_moved of { time : int; tid : int; from_core : int; to_core : int }
+  | Op_started of {
+      time : int;
+      core : int;
+      tid : int;
+      addr : int;
+      home : int option;
+    }
+  | Op_ended of { time : int; core : int; tid : int }
+  | Rebalanced of { time : int; moves : int; demotions : int }
+
+type t = { mutable listeners : (event -> unit) list }
+
+let create () = { listeners = [] }
+let subscribe t f = t.listeners <- f :: t.listeners
+let active t = t.listeners <> []
+let emit t ev = List.iter (fun f -> f ev) t.listeners

@@ -1,0 +1,69 @@
+(** Observation hooks for the deterministic simulation.
+
+    Every {!Engine.t} owns a probe; runtime and CoreTime layers publish
+    notable events through it (memory accesses, lock transfers, thread
+    lifecycle, annotated-operation boundaries, monitor runs). Analysis
+    passes — the race detector and invariant checkers in [lib/analysis] —
+    subscribe a listener and reconstruct whatever state they need.
+
+    Emission is zero-cost when nobody listens: producers guard event
+    construction with {!active}, so benchmarks pay nothing for the hooks.
+    Listeners run synchronously at the producer's call site, in the
+    simulation's deterministic event order, and must not perform effects
+    or mutate simulator state. *)
+
+type mem_kind = Load | Store
+
+type lock_info = {
+  lock_name : string;
+  lock_addr : int;  (** The lock word's address (its own cache line). *)
+}
+
+type event =
+  | Mem of {
+      time : int;
+      core : int;
+      tid : int;
+      kind : mem_kind;
+      addr : int;
+      len : int;
+    }  (** An {!Api.read} / {!Api.write} performed by a simulated thread.
+          Lock-word traffic is not reported here; it arrives as
+          [Lock_acquired] / [Lock_released]. *)
+  | Lock_acquired of { time : int; core : int; tid : int; lock : lock_info }
+      (** Emitted when the lock is actually granted (immediate or after a
+          contended hand-off), not when the acquire was attempted. *)
+  | Lock_released of { time : int; core : int; tid : int; lock : lock_info }
+  | Thread_spawned of { time : int; core : int; tid : int; name : string }
+  | Thread_finished of { time : int; core : int; tid : int }
+  | Thread_moved of { time : int; tid : int; from_core : int; to_core : int }
+      (** Migration or operation shipping departed [from_core]. *)
+  | Op_started of {
+      time : int;
+      core : int;
+      tid : int;
+      addr : int;  (** The [ct_start] argument (the object's base). *)
+      home : int option;
+          (** The object's home core iff CoreTime is enabled and the object
+              is assigned; the emitting core has already migrated, so
+              [core] must equal the home when it is [Some _]. *)
+    }  (** A [Coretime.ct_start] completed (after any migration). *)
+  | Op_ended of { time : int; core : int; tid : int }
+      (** A [Coretime.ct_end] popped its frame (before any migrate-back). *)
+  | Rebalanced of { time : int; moves : int; demotions : int }
+      (** One monitor period finished; [moves]/[demotions] are this
+          period's counts. *)
+
+type t
+
+val create : unit -> t
+
+val subscribe : t -> (event -> unit) -> unit
+(** Listeners are called in an unspecified order; they stay subscribed for
+    the probe's lifetime. *)
+
+val active : t -> bool
+(** [true] iff at least one listener is subscribed. Producers check this
+    before building an event so inactive probes cost nothing. *)
+
+val emit : t -> event -> unit

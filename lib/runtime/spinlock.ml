@@ -22,6 +22,9 @@ let create mem ~name =
 
 let held t = t.owner <> None
 let waiting t = Queue.length t.waiters
+let owner t = t.owner
+let acquisitions t = t.acquisitions
+let contended t = t.contended
 
 let pp ppf t =
   Format.fprintf ppf "lock %s @@%#x owner=%s waiters=%d acq=%d contended=%d"

@@ -28,4 +28,15 @@ val create : O2_simcore.Memsys.t -> name:string -> t
 
 val held : t -> bool
 val waiting : t -> int
+
+val owner : t -> int option
+(** The owning thread id, when held. *)
+
+val acquisitions : t -> int
+(** Successful acquisitions so far (the stats layer reads these through
+    accessors rather than reaching into the record). *)
+
+val contended : t -> int
+(** Acquisitions that found the lock held and had to wait. *)
+
 val pp : Format.formatter -> t -> unit

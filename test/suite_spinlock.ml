@@ -92,6 +92,26 @@ let test_release_not_owner_raises () =
     | () -> false
     | exception Engine.Not_lock_owner _ -> true)
 
+let test_release_by_other_raises () =
+  let _, e, l = setup () in
+  let holder =
+    Engine.spawn e ~core:0 ~name:"holder" (fun () ->
+        Api.lock l;
+        Api.compute 10_000;
+        Api.unlock l)
+  in
+  ignore
+    (Engine.spawn e ~core:1 ~name:"thief" (fun () ->
+         Api.compute 100;
+         (* the holder is inside its critical section *)
+         Api.unlock l));
+  Alcotest.(check bool) "raises Not_lock_owner" true
+    (match Engine.run e with
+    | () -> false
+    | exception Engine.Not_lock_owner _ -> true);
+  Alcotest.(check (option int))
+    "still owned by the holder" (Some holder.Thread.id) (Spinlock.owner l)
+
 let test_lock_line_bounces () =
   let m, e, l = setup () in
   (* two cores alternating on the lock force coherence invalidations *)
@@ -121,5 +141,7 @@ let suite =
     Alcotest.test_case "spin cycles are charged" `Quick test_spin_cycles_counted;
     Alcotest.test_case "FIFO hand-off" `Quick test_fifo_handoff;
     Alcotest.test_case "releasing unowned lock raises" `Quick test_release_not_owner_raises;
+    Alcotest.test_case "release by a non-owning thread raises" `Quick
+      test_release_by_other_raises;
     Alcotest.test_case "contended lock bounces its line" `Quick test_lock_line_bounces;
   ]

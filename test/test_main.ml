@@ -20,4 +20,5 @@ let () =
       ("sched", Suite_sched.suite);
       ("stats", Suite_stats.suite);
       ("experiments", Suite_experiments.suite);
+      ("analysis", Suite_analysis.suite);
     ]
