@@ -7,14 +7,14 @@
    microbenchmark suite instead (one Bechamel test per experiment kernel,
    including the Θ(n log n) cache-packing claim, E5). *)
 
-let experiments ~quick ids =
+let experiments ~quick ~jobs ids =
   let ppf = Format.std_formatter in
   Format.fprintf ppf
     "o2sched benchmark harness: CoreTime (HotOS 2009) reproduction@.";
   Format.fprintf ppf "machine under test: %a@.@." O2_simcore.Config.pp
     O2_simcore.Config.amd16;
   let ids = if ids = [] then O2_experiments.Registry.ids () else ids in
-  match O2_experiments.Registry.run_ids ~quick ppf ids with
+  match O2_experiments.Registry.run_ids ~quick ~jobs ppf ids with
   | Ok () -> 0
   | Error msg ->
       prerr_endline ("bench: " ^ msg);
@@ -120,6 +120,33 @@ let test_lookup =
   Test.make ~name:"fat/lookup_host (1000-entry dir)"
     (Staged.stage (fun () -> ignore (O2_fs.Fat.lookup_host fs d "f999.dat")))
 
+(* The engine's innermost loop: one push + one pop against a heap kept at
+   a realistic steady-state depth. Should sit at a handful of ns and
+   allocate nothing. *)
+let test_event_queue =
+  let q : int O2_runtime.Event_queue.t = O2_runtime.Event_queue.create () in
+  for i = 1 to 1024 do
+    O2_runtime.Event_queue.push q ~time:i i
+  done;
+  let i = ref 1024 in
+  Test.make ~name:"event_queue/push+pop_min (1k deep)"
+    (Staged.stage (fun () ->
+         incr i;
+         O2_runtime.Event_queue.push q ~time:!i !i;
+         ignore (O2_runtime.Event_queue.pop_min q)))
+
+(* Fixed cost of farming a batch through the domain pool: bounds the
+   sweep sizes below which --jobs cannot pay off. *)
+let test_domain_pool =
+  (* lazy so the worker domain only spawns when the bechamel suite runs *)
+  let pool = lazy (O2_runtime.Domain_pool.create ~jobs:2) in
+  let inputs = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  Test.make ~name:"domain_pool/run (8 trivial cells, jobs=2)"
+    (Staged.stage (fun () ->
+         ignore
+           (O2_runtime.Domain_pool.run (Lazy.force pool) (fun x -> x + 1)
+              inputs)))
+
 let bechamel_tests =
   [
     test_packing 256;
@@ -130,6 +157,8 @@ let bechamel_tests =
     test_read_hit;
     test_read_stream;
     test_lookup;
+    test_event_queue;
+    test_domain_pool;
     test_fig4a_cell_with;
     test_fig4a_cell_without;
     test_fig4b_cell;
@@ -167,11 +196,109 @@ let run_bechamel () =
     "i.e. roughly x4.4 per x4 in n across the four cache_packing rows.";
   0
 
+(* ------------------------------------------------------------------ *)
+(* Figure 4 wall-clock: the harness-parallelism headline number         *)
+
+(* Times the quick Figure 4(a) sweep at jobs=1 and jobs=N and checks the
+   row lists are bit-identical (the determinism contract of
+   Harness.run_cells). Written as JSON so CI can trend it. *)
+let run_fig4_json ~jobs path =
+  let sweep jobs =
+    let t0 = Unix.gettimeofday () in
+    let rows =
+      O2_experiments.Figure4.sweep ~jobs ~quick:true ~oscillation:None ()
+    in
+    (rows, Unix.gettimeofday () -. t0)
+  in
+  let rows_seq, seconds_seq = sweep 1 in
+  let rows_par, seconds_par = sweep jobs in
+  let identical = rows_seq = rows_par in
+  let row_json r =
+    Printf.sprintf
+      "    {\"kb\": %d, \"without_ct_kres\": %.3f, \"with_ct_kres\": %.3f}"
+      r.O2_experiments.Figure4.kb
+      r.O2_experiments.Figure4.without_ct.O2_experiments.Harness.kres_per_sec
+      r.O2_experiments.Figure4.with_ct.O2_experiments.Harness.kres_per_sec
+  in
+  let json =
+    String.concat "\n"
+      ([
+         "{";
+         "  \"benchmark\": \"fig4a quick sweep wall-clock\",";
+         Printf.sprintf "  \"available_cores\": %d,"
+           (O2_runtime.Domain_pool.default_jobs ());
+         Printf.sprintf "  \"seconds_jobs1\": %.3f," seconds_seq;
+         Printf.sprintf "  \"jobs\": %d," jobs;
+         Printf.sprintf "  \"seconds_jobsN\": %.3f," seconds_par;
+         Printf.sprintf "  \"speedup\": %.2f,"
+           (if seconds_par > 0.0 then seconds_seq /. seconds_par else nan);
+         Printf.sprintf "  \"rows_bit_identical\": %b," identical;
+         "  \"rows\": [";
+       ]
+      @ [ String.concat ",\n" (List.map row_json rows_seq) ]
+      @ [ "  ]"; "}"; "" ])
+  in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "fig4a quick sweep: %.2fs at jobs=1, %.2fs at jobs=%d (%.2fx)\n"
+    seconds_seq seconds_par jobs (seconds_seq /. seconds_par);
+  Printf.printf "rows bit-identical across jobs: %b\n" identical;
+  Printf.printf "wrote %s\n" path;
+  if identical then 0 else 1
+
+let usage () =
+  prerr_endline
+    "usage: bench [--quick] [--jobs N] [--bechamel | --fig4-json [FILE]] \
+     [EXPERIMENT-ID...]";
+  2
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let quick = List.mem "--quick" args || List.mem "-q" args in
-  let bech = List.mem "--bechamel" args in
-  let ids =
-    List.filter (fun a -> not (String.length a > 0 && a.[0] = '-')) args
+  let quick = ref false in
+  let bech = ref false in
+  let fig4_json = ref None in
+  let jobs = ref (O2_runtime.Domain_pool.default_jobs ()) in
+  let ids = ref [] in
+  let bad = ref false in
+  let rec parse = function
+    | [] -> ()
+    | ("--quick" | "-q") :: rest ->
+        quick := true;
+        parse rest
+    | "--bechamel" :: rest ->
+        bech := true;
+        parse rest
+    | "--fig4-json" :: path :: rest
+      when String.length path > 0 && path.[0] <> '-' ->
+        fig4_json := Some path;
+        parse rest
+    | "--fig4-json" :: rest ->
+        fig4_json := Some "BENCH_fig4.json";
+        parse rest
+    | ("--jobs" | "-j") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse rest
+        | _ ->
+            bad := true)
+    | a :: rest when String.length a > 0 && a.[0] = '-' ->
+        prerr_endline ("bench: unknown option " ^ a);
+        bad := true;
+        ignore rest
+    | a :: rest ->
+        ids := !ids @ [ a ];
+        parse rest
   in
-  exit (if bech then run_bechamel () else experiments ~quick ids)
+  parse args;
+  if !bad then exit (usage ());
+  exit
+    (if !bech then run_bechamel ()
+     else
+       match !fig4_json with
+       | Some path ->
+           (* at least 2 so the parallel leg exercises real domains even on
+              a single-core machine *)
+           run_fig4_json ~jobs:(max 2 !jobs) path
+       | None -> experiments ~quick:!quick ~jobs:!jobs !ids)

@@ -33,13 +33,29 @@ let all_arg =
   let doc = "Run every experiment in the catalogue, ablations included." in
   Arg.(value & flag & info [ "all"; "a" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for experiments that sweep independent simulation \
+     cells (default: the detected core count). $(b,--jobs 1) runs \
+     everything sequentially; results are bit-identical whatever the \
+     value."
+  in
+  Arg.(
+    value
+    & opt int (O2_runtime.Domain_pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let out_arg =
   let doc = "Also write the report to this file." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
 let run_cmd =
   let doc = "Run experiments and print paper-shaped tables and figures." in
-  let run quick all out ids =
+  let run quick all jobs out ids =
+    if jobs < 1 then begin
+      prerr_endline "o2sim: --jobs must be at least 1";
+      exit 1
+    end;
     let ids = if all then O2_experiments.Registry.ids () else ids in
     let finish ppf result =
       Format.pp_print_flush ppf ();
@@ -52,7 +68,8 @@ let run_cmd =
     match out with
     | None ->
         finish Format.std_formatter
-          (O2_experiments.Registry.run_ids ~quick Format.std_formatter ids)
+          (O2_experiments.Registry.run_ids ~quick ~jobs Format.std_formatter
+             ids)
     | Some path ->
         let oc = open_out path in
         Fun.protect
@@ -60,7 +77,7 @@ let run_cmd =
           (fun () ->
             let buf = Buffer.create 4096 in
             let ppf = Format.formatter_of_buffer buf in
-            let result = O2_experiments.Registry.run_ids ~quick ppf ids in
+            let result = O2_experiments.Registry.run_ids ~quick ~jobs ppf ids in
             Format.pp_print_flush ppf ();
             output_string oc (Buffer.contents buf);
             print_string (Buffer.contents buf);
@@ -68,7 +85,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(const run $ quick_arg $ all_arg $ out_arg $ ids_arg)
+    Term.(const run $ quick_arg $ all_arg $ jobs_arg $ out_arg $ ids_arg)
 
 let machine_cmd =
   let doc = "Describe the simulated machines." in

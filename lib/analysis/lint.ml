@@ -98,19 +98,24 @@ let mk ~path ~lineno ~code message =
   Diagnostic.make ~checker:"lint" ~code ~subject:path
     (Printf.sprintf "%s:%d: %s" path lineno message)
 
+(* The one module allowed to name the real concurrency primitives: the
+   domain pool wraps them for everyone else (experiment sweeps go through
+   Domain_pool.map, never Domain.spawn). This used to exempt all of
+   lib/runtime/ wholesale; the allowlist is deliberately a single file so
+   a stray Domain.spawn in the engine is caught too. *)
+let raw_primitive_allowlist = [ "lib/runtime/domain_pool.ml" ]
+
+let path_allows_raw path =
+  List.exists
+    (fun allowed ->
+      path = allowed || Filename.check_suffix path ("/" ^ allowed))
+    raw_primitive_allowlist
+
 let scan_string ~path ?allow_raw_primitives contents =
   let allow_raw =
     match allow_raw_primitives with
     | Some b -> b
-    | None ->
-        (* The runtime layer is the one place allowed to name the real
-           concurrency primitives (it replaces them). *)
-        let rec has_runtime = function
-          | [] -> false
-          | "runtime" :: _ -> true
-          | _ :: rest -> has_runtime rest
-        in
-        has_runtime (String.split_on_char '/' path)
+    | None -> path_allows_raw path
   in
   let diags = ref [] in
   let add d = diags := d :: !diags in

@@ -6,9 +6,11 @@
 
     - [obj-magic] — [Obj.magic] defeats the type system; never needed in
       a simulator.
-    - [raw-mutex] / [raw-domain] — [Mutex]/[Domain] primitives outside
-      [lib/runtime/]: all concurrency must flow through the deterministic
-      engine, or runs stop being reproducible.
+    - [raw-mutex] / [raw-domain] — [Mutex]/[Domain] primitives anywhere
+      except the explicit allowlist (only [lib/runtime/domain_pool.ml],
+      the module that wraps them): all simulated concurrency must flow
+      through the deterministic engine, and all host parallelism through
+      the domain pool, or runs stop being reproducible.
     - [ignored-result] — [ignore (Api.lock ...)], [ignore (Api.unlock ...)]
       or [ignore (Engine.run ...)]: these return [unit]; wrapping them in
       [ignore] suggests the author expected (and discarded) a result such
@@ -19,7 +21,7 @@
 val scan_string : path:string -> ?allow_raw_primitives:bool -> string ->
   Diagnostic.t list
 (** Scan one file's contents. [path] is used for reporting and for the
-    [lib/runtime/] exemption ([allow_raw_primitives] overrides it in
+    raw-primitive allowlist ([allow_raw_primitives] overrides it in
     tests). Does not apply [missing-mli] (a directory-level rule). *)
 
 val scan_tree : root:string -> Diagnostic.t list

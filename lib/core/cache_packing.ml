@@ -24,27 +24,19 @@ let pack ~budget ~used ~items =
     sorted;
   (List.rev !placed, List.rev !unplaced)
 
-(* Simple deterministic PRNG state for Random_fit, keyed per seed so
-   distinct policies do not interfere. *)
-let random_states : (int, int ref) Hashtbl.t = Hashtbl.create 8
-
-let next_random seed bound =
-  let state =
-    match Hashtbl.find_opt random_states seed with
-    | Some s -> s
-    | None ->
-        let s = ref (seed lxor 0x9E3779B9) in
-        Hashtbl.add random_states seed s;
-        s
-  in
-  state := (!state + 0x9E3779B9) land max_int;
-  let z = !state in
+(* Stateless deterministic hash for Random_fit: mixing (seed, nonce) keeps
+   distinct policies independent while leaving no state behind. A module-
+   level PRNG table would be shared mutable state — experiment cells now
+   run on separate domains, and a shared call counter would make a cell's
+   placements depend on what other cells ran before it. *)
+let next_random seed nonce bound =
+  let z = (seed lxor 0x9E3779B9) + (nonce * 0x9E3779B9) land max_int in
   let z = z lxor (z lsr 16) * 0x45d9f3b land max_int in
   let z = z lxor (z lsr 16) * 0x45d9f3b land max_int in
   let z = z lxor (z lsr 16) in
   z mod bound
 
-let place_one ~placement ~budget ~used ~bytes =
+let place_one ?(nonce = 0) ~placement ~budget ~used ~bytes () =
   let n = Array.length used in
   let fits c = used.(c) + bytes <= budget in
   match placement with
@@ -67,7 +59,7 @@ let place_one ~placement ~budget ~used ~bytes =
       done;
       let cands = Array.of_list !candidates in
       if Array.length cands = 0 then None
-      else Some cands.(next_random seed (Array.length cands))
+      else Some cands.(next_random seed nonce (Array.length cands))
 
 let is_feasible ~budget ~used ~bytes =
   Array.exists (fun u -> u + bytes <= budget) used

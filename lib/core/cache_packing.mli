@@ -21,15 +21,19 @@ val pack :
     mutated. Deterministic: ties in heat keep input order. *)
 
 val place_one :
+  ?nonce:int ->
   placement:Policy.placement ->
   budget:int ->
   used:int array ->
   bytes:int ->
+  unit ->
   int option
 (** Choose a core with at least [bytes] free under [budget], following the
     placement policy: [First_fit] picks the lowest-numbered such core,
     [Least_loaded] the one with the most free space (lowest id breaks
-    ties), [Random_fit] a uniformly random one (deterministic in its seed
-    and call count). *)
+    ties), [Random_fit] a pseudo-random one — a pure hash of the policy
+    seed and [nonce] (default 0), so callers vary [nonce] (e.g. a
+    promotion counter) to spread placements. Stateless by design: cells of
+    a parallel experiment sweep must not share a PRNG. *)
 
 val is_feasible : budget:int -> used:int array -> bytes:int -> bool

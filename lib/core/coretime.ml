@@ -131,9 +131,12 @@ let maybe_promote t (o : Object_table.obj) =
         match clustered with
         | Some _ as c -> c
         | None ->
-            Cache_packing.place_one ~placement:p.Policy.placement
+            (* the promotion counter as nonce: successive Random_fit
+               placements land on different cores, deterministically *)
+            Cache_packing.place_one ~nonce:t.stats_.promotions
+              ~placement:p.Policy.placement
               ~budget:(Object_table.budget t.table_)
-              ~used ~bytes:o.Object_table.size
+              ~used ~bytes:o.Object_table.size ()
       in
       match core with
       | Some core ->

@@ -4,19 +4,38 @@ open O2_stats
 
 let kres p = p.Harness.kres_per_sec
 
-let migration_cost ~quick ppf =
+let migration_cost ~quick ~jobs ppf =
   Format.fprintf ppf
     "@.=== E6: migration-cost sensitivity (8 MB working set) ===@.@.";
   let kb = 8192 in
   let spec = Dir_workload.spec_for_data_kb ~kb () in
   let warmup = Harness.scaled ~quick (40_000_000 + (kb * 2500)) in
   let measure = Harness.scaled ~quick 40_000_000 in
-  let baseline =
-    Harness.run (Harness.setup ~policy:Coretime.Policy.baseline ~warmup ~measure spec)
-  in
   let costs =
     if quick then [ 500; 2000; 8000 ]
     else [ 250; 500; 1000; 2000; 4000; 8000; 16000 ]
+  in
+  let cost_cell cost =
+    let cfg =
+      {
+        Config.amd16 with
+        Config.migration_save = cost / 4;
+        migration_xfer = cost / 2;
+        migration_restore = cost / 4;
+        poll_interval = 0;
+      }
+    in
+    Harness.setup ~cfg ~warmup ~measure spec
+  in
+  (* baseline rides along as cell 0 of the same batch *)
+  let cells =
+    Harness.setup ~policy:Coretime.Policy.baseline ~warmup ~measure spec
+    :: List.map cost_cell costs
+  in
+  let baseline, points =
+    match Harness.run_cells ~jobs cells with
+    | baseline :: points -> (baseline, points)
+    | [] -> assert false
   in
   let t =
     Table.create
@@ -27,32 +46,22 @@ let migration_cost ~quick ppf =
           ("vs baseline", Table.Right);
         ]
   in
-  List.iter
-    (fun cost ->
-      let cfg =
-        {
-          Config.amd16 with
-          Config.migration_save = cost / 4;
-          migration_xfer = cost / 2;
-          migration_restore = cost / 4;
-          poll_interval = 0;
-        }
-      in
-      let p = Harness.run (Harness.setup ~cfg ~warmup ~measure spec) in
+  List.iter2
+    (fun cost p ->
       Table.add_row t
         [
           string_of_int cost;
           Printf.sprintf "%.0f" (kres p);
           Printf.sprintf "%.2fx" (kres p /. kres baseline);
         ])
-    costs;
+    costs points;
   Format.pp_print_string ppf (Table.render t);
   Format.fprintf ppf "baseline (no CoreTime): %.0f kres/s@." (kres baseline);
   Format.fprintf ppf
     "cheaper migration (hardware active messages) widens the win; costly \
      migration erodes it.@."
 
-let replication ~quick ppf =
+let replication ~quick ~jobs ppf =
   Format.fprintf ppf
     "@.=== E7: replicate read-only objects vs schedule them (zipf 1.1, \
      lock-free lookups) ===@.@.";
@@ -65,11 +74,22 @@ let replication ~quick ppf =
   in
   let warmup = Harness.scaled ~quick 40_000_000 in
   let measure = Harness.scaled ~quick 40_000_000 in
-  let run policy = Harness.run (Harness.setup ~policy ~warmup ~measure spec) in
-  let baseline = run Coretime.Policy.baseline in
-  let partition = run Coretime.Policy.default in
-  let replicate =
-    run { Coretime.Policy.default with Coretime.Policy.replicate_read_only = true }
+  let cell policy = Harness.setup ~policy ~warmup ~measure spec in
+  let baseline, partition, replicate =
+    match
+      Harness.run_cells ~jobs
+        [
+          cell Coretime.Policy.baseline;
+          cell Coretime.Policy.default;
+          cell
+            {
+              Coretime.Policy.default with
+              Coretime.Policy.replicate_read_only = true;
+            };
+        ]
+    with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> assert false
   in
   let t =
     Table.create
@@ -99,14 +119,15 @@ let replication ~quick ppf =
    replacement policy only matters when popularity drifts: here the
    rank-to-directory mapping rotates by an eighth every 10M cycles, so the
    hot set keeps moving off whatever the table holds. *)
-let overflow ~quick ppf =
+let overflow ~quick ~jobs ppf =
   Format.fprintf ppf
     "@.=== E8: working set larger than on-chip memory (16 MB capacity; \
      zipf 1.0, drifting hot set) ===@.@.";
   let measure = Harness.scaled ~quick 60_000_000 in
   let sizes = if quick then [ 24576 ] else [ 18432; 24576; 32768 ] in
   let drift_period = 10_000_000 in
-  let run_one ~kb ~policy =
+  (* builds its own machine/engine and shares nothing: safe as a pool cell *)
+  let run_one (kb, policy) =
     let machine = Machine.create Config.amd16 in
     let engine = O2_runtime.Engine.create machine in
     let ct = Coretime.create ~policy engine () in
@@ -132,6 +153,24 @@ let overflow ~quick ppf =
       /. 1000.0,
       rb.Coretime.Rebalancer.demotions )
   in
+  let frozen_policy =
+    {
+      Coretime.Policy.default with
+      (* never demote: whatever promoted first keeps its slot *)
+      Coretime.Policy.demote_idle_periods = max_int / 2;
+    }
+  in
+  let cells =
+    List.concat_map
+      (fun kb ->
+        [
+          (kb, Coretime.Policy.baseline);
+          (kb, frozen_policy);
+          (kb, Coretime.Policy.default);
+        ])
+      sizes
+  in
+  let points = O2_runtime.Domain_pool.map ~jobs run_one cells in
   let t =
     Table.create
       ~columns:
@@ -143,28 +182,23 @@ let overflow ~quick ppf =
           ("demotions", Table.Right);
         ]
   in
-  List.iter
-    (fun kb ->
-      let baseline, _ = run_one ~kb ~policy:Coretime.Policy.baseline in
-      let frozen, _ =
-        run_one ~kb
-          ~policy:
-            {
-              Coretime.Policy.default with
-              (* never demote: whatever promoted first keeps its slot *)
-              Coretime.Policy.demote_idle_periods = max_int / 2;
-            }
-      in
-      let adaptive, demotions = run_one ~kb ~policy:Coretime.Policy.default in
-      Table.add_row t
-        [
-          string_of_int kb;
-          Printf.sprintf "%.0f" baseline;
-          Printf.sprintf "%.0f" frozen;
-          Printf.sprintf "%.0f" adaptive;
-          string_of_int demotions;
-        ])
-    sizes;
+  let rec rows sizes points =
+    match (sizes, points) with
+    | [], [] -> ()
+    | ( kb :: sizes,
+        (baseline, _) :: (frozen, _) :: (adaptive, demotions) :: points ) ->
+        Table.add_row t
+          [
+            string_of_int kb;
+            Printf.sprintf "%.0f" baseline;
+            Printf.sprintf "%.0f" frozen;
+            Printf.sprintf "%.0f" adaptive;
+            string_of_int demotions;
+          ];
+        rows sizes points
+    | _ -> invalid_arg "Ablations.overflow: cell/size mismatch"
+  in
+  rows sizes points;
   Format.pp_print_string ppf (Table.render t);
   Format.fprintf ppf
     "a frozen table goes stale and loses even to the hardware; demoting \
@@ -173,14 +207,14 @@ let overflow ~quick ppf =
      replacement policy).@."
 
 (* E9 uses its own paired-lookup loop rather than Dir_workload's. *)
-let clustering ~quick ppf =
+let clustering ~quick ~jobs ppf =
   Format.fprintf ppf
     "@.=== E9: object clustering for operations that use two objects \
      ===@.@.";
   let warmup = Harness.scaled ~quick 40_000_000 in
   let measure = Harness.scaled ~quick 40_000_000 in
   let horizon = warmup + measure in
-  let run_one ~with_clustering =
+  let run_one with_clustering =
     let machine = Machine.create Config.amd16 in
     let engine = O2_runtime.Engine.create machine in
     let policy =
@@ -238,8 +272,11 @@ let clustering ~quick ppf =
       float_of_int migs /. float_of_int (max pairs 1),
       Coretime.Clustering.pairs_tracked (Coretime.clustering ct) )
   in
-  let off_kres, off_migs, _ = run_one ~with_clustering:false in
-  let on_kres, on_migs, pairs = run_one ~with_clustering:true in
+  let (off_kres, off_migs, _), (on_kres, on_migs, pairs) =
+    match O2_runtime.Domain_pool.map ~jobs run_one [ false; true ] with
+    | [ off; on ] -> (off, on)
+    | _ -> assert false
+  in
   let t =
     Table.create
       ~columns:
@@ -254,7 +291,7 @@ let clustering ~quick ppf =
   Format.pp_print_string ppf (Table.render t);
   Format.fprintf ppf "co-access pairs tracked: %d@." pairs
 
-let rebalance ~quick ppf =
+let rebalance ~quick ~jobs ppf =
   Format.fprintf ppf
     "@.=== E11: packing pathology vs the runtime monitor (oscillating set, \
      8 MB) ===@.@.";
@@ -262,14 +299,19 @@ let rebalance ~quick ppf =
   let warmup = Harness.scaled ~quick 60_000_000 in
   let measure = Harness.scaled ~quick 80_000_000 in
   let oscillation = Figure4.oscillation_default in
-  let run policy =
-    Harness.run (Harness.setup ~policy ~warmup ~measure ~oscillation spec)
+  let cell policy = Harness.setup ~policy ~warmup ~measure ~oscillation spec in
+  let off, on, baseline =
+    match
+      Harness.run_cells ~jobs
+        [
+          cell { Coretime.Policy.default with Coretime.Policy.rebalance = false };
+          cell Coretime.Policy.default;
+          cell Coretime.Policy.baseline;
+        ]
+    with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> assert false
   in
-  let off =
-    run { Coretime.Policy.default with Coretime.Policy.rebalance = false }
-  in
-  let on = run Coretime.Policy.default in
-  let baseline = run Coretime.Policy.baseline in
   let t =
     Table.create
       ~columns:
@@ -299,12 +341,29 @@ let rebalance ~quick ppf =
     "first-fit packs the shrunken active set onto few cores; the monitor \
      spreads it back out.@."
 
-let op_shipping ~quick ppf =
+let op_shipping ~quick ~jobs ppf =
   Format.fprintf ppf
     "@.=== E13: operation shipping by active message vs thread migration \
      ===@.@.";
   let sizes = if quick then [ 4096 ] else [ 2048; 4096; 8192; 12288 ] in
   let measure = Harness.scaled ~quick 40_000_000 in
+  let cell kb policy =
+    let spec = Dir_workload.spec_for_data_kb ~kb () in
+    let warmup = Harness.scaled ~quick (40_000_000 + (kb * 2500)) in
+    Harness.setup ~policy ~warmup ~measure spec
+  in
+  let cells =
+    List.concat_map
+      (fun kb ->
+        [
+          cell kb Coretime.Policy.baseline;
+          cell kb Coretime.Policy.default;
+          cell kb
+            { Coretime.Policy.default with Coretime.Policy.op_shipping = true };
+        ])
+      sizes
+  in
+  let points = Harness.run_cells ~jobs cells in
   let t =
     Table.create
       ~columns:
@@ -316,31 +375,28 @@ let op_shipping ~quick ppf =
           ("shipping gain", Table.Right);
         ]
   in
-  List.iter
-    (fun kb ->
-      let spec = Dir_workload.spec_for_data_kb ~kb () in
-      let warmup = Harness.scaled ~quick (40_000_000 + (kb * 2500)) in
-      let run policy = Harness.run (Harness.setup ~policy ~warmup ~measure spec) in
-      let baseline = run Coretime.Policy.baseline in
-      let migrate = run Coretime.Policy.default in
-      let ship =
-        run { Coretime.Policy.default with Coretime.Policy.op_shipping = true }
-      in
-      Table.add_row t
-        [
-          string_of_int kb;
-          Printf.sprintf "%.0f" (kres baseline);
-          Printf.sprintf "%.0f" (kres migrate);
-          Printf.sprintf "%.0f" (kres ship);
-          Printf.sprintf "%.2fx" (kres ship /. kres migrate);
-        ])
-    sizes;
+  let rec rows sizes points =
+    match (sizes, points) with
+    | [], [] -> ()
+    | kb :: sizes, baseline :: migrate :: ship :: points ->
+        Table.add_row t
+          [
+            string_of_int kb;
+            Printf.sprintf "%.0f" (kres baseline);
+            Printf.sprintf "%.0f" (kres migrate);
+            Printf.sprintf "%.0f" (kres ship);
+            Printf.sprintf "%.2fx" (kres ship /. kres migrate);
+          ];
+        rows sizes points
+    | _ -> invalid_arg "Ablations.op_shipping: cell/size mismatch"
+  in
+  rows sizes points;
   Format.pp_print_string ppf (Table.render t);
   Format.fprintf ppf
     "hardware active messages cut the per-operation transport from ~2000 \
      to ~240 cycles (Section 6.1's prediction).@."
 
-let thread_clustering ~quick ppf =
+let thread_clustering ~quick ~jobs ppf =
   Format.fprintf ppf
     "@.=== E12: thread clustering vs O2 scheduling (8 MB, uniform) ===@.@.";
   let spec = Dir_workload.spec_for_data_kb ~kb:8192 () in
@@ -357,12 +413,21 @@ let thread_clustering ~quick ppf =
     O2_sched.Thread_sched.assign ~threads:cores ~cores
       ~cores_per_chip:Config.amd16.Config.cores_per_chip ~similarity
   in
-  let run ?placement policy =
-    Harness.run (Harness.setup ~policy ~warmup ~measure ?placement spec)
+  let cell ?placement policy =
+    Harness.setup ~policy ~warmup ~measure ?placement spec
   in
-  let base = run ~placement:round_robin Coretime.Policy.baseline in
-  let clustered = run ~placement:clustered_placement Coretime.Policy.baseline in
-  let o2 = run Coretime.Policy.default in
+  let base, clustered, o2 =
+    match
+      Harness.run_cells ~jobs
+        [
+          cell ~placement:round_robin Coretime.Policy.baseline;
+          cell ~placement:clustered_placement Coretime.Policy.baseline;
+          cell Coretime.Policy.default;
+        ]
+    with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> assert false
+  in
   let t =
     Table.create
       ~columns:[ ("scheduler", Table.Left); ("kres/s", Table.Right) ]

@@ -106,16 +106,24 @@ let print_snapshot ppf s =
   Format.fprintf ppf "distinct lines on chip: %d; throughput %.0f kres/s@.@."
     s.distinct_lines s.throughput
 
-let fig2 ?quick:_ ppf =
+let fig2 ?quick:_ ?(jobs = 1) ppf =
   Format.fprintf ppf
     "@.=== Figure 2: cache contents, thread scheduler vs O2 scheduler ===@.";
   Format.fprintf ppf
     "(small 4-core machine: 1KB L1 / 4KB L2 per core, 16KB L3; thirty-two \
      1KB directories)@.@.";
-  let thread_sched =
-    run_one ~policy:Coretime.Policy.baseline ~scheduler:"(a) Thread scheduler"
+  (* the two snapshots are independent cells: run them through the pool *)
+  let snaps =
+    O2_runtime.Domain_pool.map ~jobs
+      (fun (policy, scheduler) -> run_one ~policy ~scheduler)
+      [
+        (Coretime.Policy.baseline, "(a) Thread scheduler");
+        (o2_policy, "(b) O2 scheduler");
+      ]
   in
-  let o2 = run_one ~policy:o2_policy ~scheduler:"(b) O2 scheduler" in
+  let thread_sched, o2 =
+    match snaps with [ a; b ] -> (a, b) | _ -> assert false
+  in
   print_snapshot ppf thread_sched;
   print_snapshot ppf o2;
   Format.fprintf ppf

@@ -22,4 +22,4 @@ val o2_policy : Coretime.Policy.t
 
 val run_one : policy:Coretime.Policy.t -> scheduler:string -> snapshot
 val print_snapshot : Format.formatter -> snapshot -> unit
-val fig2 : ?quick:bool -> Format.formatter -> unit
+val fig2 : ?quick:bool -> ?jobs:int -> Format.formatter -> unit

@@ -10,29 +10,41 @@ type row = {
 
 let oscillation_default = { Harness.period = 10_000_000; divisor = 16 }
 
-let sweep ?(progress = fun _ -> ()) ~quick ~oscillation () =
+let sweep ?(progress = fun _ -> ()) ?(jobs = 1) ~quick ~oscillation () =
   (* oscillating runs measure longer so whole phase cycles average out *)
   let horizon_scale = match oscillation with None -> 2 | Some _ -> 3 in
-  let run_point policy kb =
+  let cell policy kb =
     let spec = Dir_workload.spec_for_data_kb ~kb () in
     (* Warming a working set out of DRAM (and letting promotion and the
        monitor converge) takes time proportional to its size. *)
     let warmup = Harness.scaled ~quick (40_000_000 + (kb * 2500)) in
-    Harness.run
-      (Harness.setup ~policy ~warmup
-         ~measure:(Harness.scaled ~quick (20_000_000 * horizon_scale))
-         ?oscillation spec)
+    Harness.setup ~policy ~warmup
+      ~measure:(Harness.scaled ~quick (20_000_000 * horizon_scale))
+      ?oscillation spec
   in
-  List.map
-    (fun kb ->
-      let spec = Dir_workload.spec_for_data_kb ~kb () in
-      progress
-        (Printf.sprintf "  running %d KB (%d dirs)..." kb
-           spec.Dir_workload.dirs);
-      let without_ct = run_point Coretime.Policy.baseline kb in
-      let with_ct = run_point Coretime.Policy.default kb in
-      { kb; dirs = spec.Dir_workload.dirs; without_ct; with_ct })
-    (Harness.kb_ladder ~quick)
+  let ladder = Harness.kb_ladder ~quick in
+  progress
+    (Printf.sprintf "  sweeping %d sizes x 2 policies (jobs=%d)..."
+       (List.length ladder) jobs);
+  (* Independent (kb, policy) cells, dispatched through the domain pool;
+     points come back in input order, so re-zipping by ladder position
+     reconstructs exactly the rows a sequential sweep would build. *)
+  let cells =
+    List.concat_map
+      (fun kb -> [ cell Coretime.Policy.baseline kb; cell Coretime.Policy.default kb ])
+      ladder
+  in
+  let points = Harness.run_cells ~jobs cells in
+  let rec zip ladder points =
+    match (ladder, points) with
+    | [], [] -> []
+    | kb :: ladder, without_ct :: with_ct :: points ->
+        let spec = Dir_workload.spec_for_data_kb ~kb () in
+        { kb; dirs = spec.Dir_workload.dirs; without_ct; with_ct }
+        :: zip ladder points
+    | _ -> invalid_arg "Figure4.sweep: cell/ladder mismatch"
+  in
+  zip ladder points
 
 let to_series rows =
   let mk label f =
@@ -97,16 +109,18 @@ let print_figure ppf ~title rows =
 let progress_to_stderr line =
   prerr_endline line
 
-let fig4a ?(quick = false) ppf =
-  let rows = sweep ~progress:progress_to_stderr ~quick ~oscillation:None () in
+let fig4a ?(quick = false) ?(jobs = 1) ppf =
+  let rows =
+    sweep ~progress:progress_to_stderr ~jobs ~quick ~oscillation:None ()
+  in
   print_figure ppf
     ~title:
       "Figure 4(a): file system results, uniform directory popularity"
     rows
 
-let fig4b ?(quick = false) ppf =
+let fig4b ?(quick = false) ?(jobs = 1) ppf =
   let rows =
-    sweep ~progress:progress_to_stderr ~quick
+    sweep ~progress:progress_to_stderr ~jobs ~quick
       ~oscillation:(Some oscillation_default) ()
   in
   print_figure ppf

@@ -15,6 +15,7 @@ type row = {
 
 val sweep :
   ?progress:(string -> unit) ->
+  ?jobs:int ->
   quick:bool ->
   oscillation:Harness.oscillation option ->
   unit ->
@@ -27,7 +28,10 @@ val print_rows : Format.formatter -> row list -> unit
 val print_figure : Format.formatter -> title:string -> row list -> unit
 (** Table + ASCII rendering of the figure + the Section 5 shape claims. *)
 
-val fig4a : ?quick:bool -> Format.formatter -> unit
-val fig4b : ?quick:bool -> Format.formatter -> unit
+val fig4a : ?quick:bool -> ?jobs:int -> Format.formatter -> unit
+val fig4b : ?quick:bool -> ?jobs:int -> Format.formatter -> unit
+(** [jobs] (default 1) dispatches the sweep's independent cells through a
+    {!O2_runtime.Domain_pool} of that many workers; the rows are
+    bit-identical whatever [jobs] is. *)
 
 val oscillation_default : Harness.oscillation

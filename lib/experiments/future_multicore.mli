@@ -5,4 +5,4 @@
     the same benchmark on {!O2_simcore.Config.future64} and compares the
     speedup band against the 16-core machine's. *)
 
-val run : quick:bool -> Format.formatter -> unit
+val run : quick:bool -> jobs:int -> Format.formatter -> unit

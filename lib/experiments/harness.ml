@@ -100,6 +100,13 @@ let run s =
     avg_busy = busy_sum /. float_of_int (Config.cores s.cfg);
   }
 
+(* [run] builds everything fresh — machine, engine, coretime, workload —
+   and reads no shared mutable state, so independent cells can run on
+   separate domains; results come back in input order and are bit-identical
+   to a sequential run (each cell's RNG seeding depends only on its own
+   spec). *)
+let run_cells ~jobs setups = O2_runtime.Domain_pool.map ~jobs run setups
+
 let scaled ~quick cycles = if quick then cycles / 4 else cycles
 
 let kb_ladder ~quick =

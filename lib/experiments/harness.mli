@@ -47,7 +47,13 @@ val setup :
 
 val run : setup -> point
 (** Build everything, warm up, measure, and tear down. Deterministic in
-    the spec's seed. *)
+    the spec's seed. Pure per cell: no state shared with other [run]s, so
+    cells may run on separate domains. *)
+
+val run_cells : jobs:int -> setup list -> point list
+(** Run independent cells through a domain pool of [jobs] workers
+    ({!O2_runtime.Domain_pool}); [jobs = 1] is plain sequential [run].
+    Results are in input order and bit-identical whatever [jobs] is. *)
 
 val scaled : quick:bool -> int -> int
 (** Scale a cycle horizon down (x1/4) in quick mode. *)

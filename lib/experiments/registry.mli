@@ -7,7 +7,7 @@ type exp = {
   paper_ref : string;  (** Where in the paper this comes from. *)
   default_set : bool;  (** Run when no ids are given (the paper's own
                            figures and tables). *)
-  run : quick:bool -> Format.formatter -> unit;
+  run : quick:bool -> jobs:int -> Format.formatter -> unit;
 }
 
 val all : exp list
@@ -15,6 +15,13 @@ val find : string -> exp option
 val ids : unit -> string list
 
 val run_ids :
-  quick:bool -> Format.formatter -> string list -> (unit, string) result
+  quick:bool ->
+  jobs:int ->
+  Format.formatter ->
+  string list ->
+  (unit, string) result
 (** Run the named experiments in catalogue order ([Error] lists unknown
-    ids without running anything). An empty list runs the default set. *)
+    ids without running anything). An empty list runs the default set.
+    [jobs] is the domain-pool width for experiments that parallelise
+    their independent cells; [jobs = 1] runs everything sequentially with
+    bit-identical output. *)

@@ -1,41 +1,51 @@
 let entries_per_cluster img =
   Fat_image.cluster_bytes img / Fat_types.entry_bytes
 
-(* Scan one cluster host-side. Returns how many slots were examined and
-   what stopped the scan. *)
-type cluster_scan =
-  | Found of Fat_types.entry * int  (* slots examined including the hit *)
-  | End_of_dir of int  (* slots examined including the end marker *)
-  | Cluster_done
+(* Scan one cluster, comparing the 8.3 name bytes in place — no decoded
+   entry record, no allocation per live slot. The packed result is:
+   the matching slot index (>= 0) on a hit; [-1] when the cluster was
+   exhausted without a hit; [-(2 + slot)] when the end-of-directory marker
+   sits at [slot]. The loop is a top-level recursion: a [let rec ... in]
+   closure would be heap-allocated per scan without flambda. *)
+let rec scan_slots buf base per name83 i =
+  if i >= per then -1
+  else begin
+    let off = base + (i * Fat_types.entry_bytes) in
+    if Fat_types.is_end buf ~off then -(2 + i)
+    else if
+      (not (Fat_types.is_deleted buf ~off))
+      && Fat_types.name_matches buf ~off name83
+    then i
+    else scan_slots buf base per name83 (i + 1)
+  end
 
 let scan_cluster img cluster ~name83 =
-  let buf = Fat_image.buf img in
-  let base = Fat_image.cluster_off img cluster in
-  let per = entries_per_cluster img in
-  let rec go i =
-    if i >= per then Cluster_done
-    else begin
-      let off = base + (i * Fat_types.entry_bytes) in
-      if Fat_types.is_end buf ~off then End_of_dir (i + 1)
-      else if Fat_types.is_deleted buf ~off then go (i + 1)
-      else begin
-        let e = Fat_types.decode_entry buf ~off in
-        if e.Fat_types.name = name83 then Found (e, i + 1) else go (i + 1)
-      end
+  scan_slots (Fat_image.buf img)
+    (Fat_image.cluster_off img cluster)
+    (entries_per_cluster img) name83 0
+
+let decode_at img cluster slot =
+  Fat_types.decode_entry (Fat_image.buf img)
+    ~off:(Fat_image.cluster_off img cluster + (slot * Fat_types.entry_bytes))
+
+(* Walks follow the chain one FAT cell at a time ([Fat_image.next_cluster])
+   instead of materialising the whole chain as a list; [steps] bounds the
+   walk so a cyclic chain in a corrupt image still terminates. *)
+
+let rec find_walk img name83 total cluster steps =
+  if steps > total then failwith "Fat_dir.find: cycle in cluster chain"
+  else begin
+    let r = scan_cluster img cluster ~name83 in
+    if r >= 0 then Some (decode_at img cluster r)
+    else if r = -1 then begin
+      let next = Fat_image.next_cluster img cluster in
+      if next < 0 then None else find_walk img name83 total next (steps + 1)
     end
-  in
-  go 0
+    else None (* end-of-directory marker *)
+  end
 
 let find img ~head ~name83 =
-  let rec walk = function
-    | [] -> None
-    | cluster :: rest -> (
-        match scan_cluster img cluster ~name83 with
-        | Found (e, _) -> Some e
-        | End_of_dir _ -> None
-        | Cluster_done -> walk rest)
-  in
-  walk (Fat_image.chain img head)
+  find_walk img name83 (Fat_image.total_clusters img) head 0
 
 let lookup_sim img ~head ~name83 ~compare_cycles =
   let open O2_runtime in
@@ -47,25 +57,34 @@ let lookup_sim img ~head ~name83 ~compare_cycles =
          ~len:(slots * Fat_types.entry_bytes));
     Api.compute (slots * compare_cycles)
   in
-  let rec walk = function
-    | [] -> None
-    | cluster :: rest -> (
-        match scan_cluster img cluster ~name83 with
-        | Found (e, slots) ->
-            charge cluster slots;
-            Some e
-        | End_of_dir slots ->
-            charge cluster slots;
-            None
-        | Cluster_done ->
-            charge cluster per;
-            if rest <> [] then
-              (* Moving to the next cluster reads this one's FAT cell. *)
-              ignore
-                (Api.read ~addr:(Fat_image.fat_entry_addr img cluster) ~len:2);
-            walk rest)
+  let total = Fat_image.total_clusters img in
+  let rec walk cluster steps =
+    if steps > total then failwith "Fat_dir.lookup_sim: cycle in cluster chain"
+    else begin
+      let r = scan_cluster img cluster ~name83 in
+      if r >= 0 then begin
+        charge cluster (r + 1);
+        Some (decode_at img cluster r)
+      end
+      else if r = -1 then begin
+        charge cluster per;
+        let next = Fat_image.next_cluster img cluster in
+        if next < 0 then None
+        else begin
+          (* Moving to the next cluster reads this one's FAT cell. *)
+          ignore (Api.read ~addr:(Fat_image.fat_entry_addr img cluster) ~len:2);
+          walk next (steps + 1)
+        end
+      end
+      else begin
+        (* end marker at slot [-(r + 2)]: examined slots up to and
+           including it *)
+        charge cluster (-r - 1);
+        None
+      end
+    end
   in
-  walk (Fat_image.chain img head)
+  walk head 0
 
 let zero_cluster img cluster =
   Bytes.fill (Fat_image.buf img)
@@ -170,7 +189,7 @@ let remove img ~head ~name83 =
             if Fat_types.is_end buf ~off then false
             else if
               (not (Fat_types.is_deleted buf ~off))
-              && (Fat_types.decode_entry buf ~off).Fat_types.name = name83
+              && Fat_types.name_matches buf ~off name83
             then begin
               Bytes.set buf off Fat_types.deleted_marker;
               true

@@ -117,6 +117,14 @@ let alloc_chain t n =
     match go None None n with Some (Some h) -> Some h | _ -> None
   end
 
+(* Single-step chain walk for the lookup hot path: no list, no option. *)
+let next_cluster t c =
+  let next = fat_get t c in
+  if next = Fat_types.fat_eoc then -1
+  else if not (valid_cluster t next) then
+    failwith (Printf.sprintf "Fat_image.next_cluster: bad link %d" next)
+  else next
+
 let chain t head =
   let rec go c acc steps =
     if steps > t.total then failwith "Fat_image.chain: cycle detected"

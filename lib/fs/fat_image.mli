@@ -60,5 +60,11 @@ val chain : t -> int -> int list
 (** Follow a chain from its head.
     @raise Failure on a cycle or an out-of-range link (corrupt image). *)
 
+val next_cluster : t -> int -> int
+(** The cluster following [c] in its chain, or [-1] at end-of-chain.
+    Allocation-free single step (the lookup hot path walks chains with
+    this instead of materialising {!chain}).
+    @raise Failure on an out-of-range link (corrupt image). *)
+
 val valid_cluster : t -> int -> bool
 val magic : string

@@ -1,0 +1,123 @@
+(* A mutex/condition work queue shared by [jobs - 1] worker domains plus
+   the calling domain. Tasks are plain thunks; [run] packages each list
+   element as a thunk that writes its slot of a results array, so result
+   order is the input order no matter which domain ran which element.
+
+   Everything under the mutex is cheap bookkeeping — each task itself (a
+   whole simulation cell, typically tens of milliseconds) runs unlocked,
+   so contention on the queue is negligible. *)
+
+type t = {
+  jobs : int;
+  m : Mutex.t;
+  work : Condition.t; (* signalled when tasks arrive or [stop] flips *)
+  tasks : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+let jobs t = t.jobs
+
+let rec worker t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.tasks && not t.stop do
+    Condition.wait t.work t.m
+  done;
+  match Queue.take_opt t.tasks with
+  | None ->
+      (* stopped and drained *)
+      Mutex.unlock t.m
+  | Some task ->
+      Mutex.unlock t.m;
+      task ();
+      worker t
+
+let create ~jobs =
+  if jobs <= 0 then invalid_arg "Domain_pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      m = Mutex.create ();
+      work = Condition.create ();
+      tasks = Queue.create ();
+      stop = false;
+      domains = [];
+    }
+  in
+  (* The caller drains the queue during [run], so it counts as one of the
+     [jobs] workers and only [jobs - 1] domains are spawned. *)
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let run t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs ->
+      let inputs = Array.of_list xs in
+      let n = Array.length inputs in
+      let results = Array.make n None in
+      (* When several elements raise, the one with the smallest input index
+         wins — the same exception a sequential [List.map] would surface —
+         so propagation is deterministic regardless of completion order. *)
+      let error = ref None in
+      let remaining = ref n in
+      let batch_done = Condition.create () in
+      let task i () =
+        let r = try Ok (f inputs.(i)) with e -> Error e in
+        Mutex.lock t.m;
+        (match r with
+        | Ok v -> results.(i) <- Some v
+        | Error e -> (
+            match !error with
+            | Some (j, _) when j < i -> ()
+            | _ -> error := Some (i, e)));
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast batch_done;
+        Mutex.unlock t.m
+      in
+      Mutex.lock t.m;
+      for i = 0 to n - 1 do
+        Queue.add (task i) t.tasks
+      done;
+      Condition.broadcast t.work;
+      (* The caller helps: drain tasks until the queue is empty, then wait
+         for whatever the worker domains still have in flight. *)
+      let rec drain () =
+        match Queue.take_opt t.tasks with
+        | Some task ->
+            Mutex.unlock t.m;
+            task ();
+            Mutex.lock t.m;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      while !remaining > 0 do
+        Condition.wait batch_done t.m
+      done;
+      Mutex.unlock t.m;
+      (match !error with Some (_, e) -> raise e | None -> ());
+      Array.to_list (Array.map Option.get results)
+
+let map ?pool ~jobs f xs =
+  match pool with
+  | Some t -> run t f xs
+  | None ->
+      if jobs <= 1 then List.map f xs
+      else
+        let t = create ~jobs in
+        Fun.protect ~finally:(fun () -> shutdown t) (fun () -> run t f xs)
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

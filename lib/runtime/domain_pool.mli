@@ -1,0 +1,49 @@
+(** A fixed pool of OCaml 5 domains for running independent simulation
+    cells in parallel.
+
+    This is the one place in the tree that spawns {e real} domains: the
+    simulated machine is single-domain and deterministic, but experiment
+    sweeps (Figure 4's 13-point ladder, the ablation grids) are
+    embarrassingly parallel — every cell builds a fresh
+    [Machine]/[Engine]/[Coretime] and shares no mutable state — so the
+    harness farms whole cells out to a pool and reassembles results in
+    input order. Parallel output is bit-identical to sequential output
+    because each cell's RNG seeding depends only on its spec.
+
+    The pool is a plain mutex/condition work queue: [run] enqueues one
+    thunk per element, worker domains (and the calling domain, which
+    drains the queue too) pull thunks until the batch completes. A pool
+    may be reused for any number of batches before [shutdown]. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains (the caller is the
+    [jobs]th worker during {!run}). [jobs = 1] spawns no domains at all —
+    every batch runs inline, exactly like a plain [List.map].
+    @raise Invalid_argument if [jobs <= 0]. *)
+
+val jobs : t -> int
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: the detected core count. *)
+
+val run : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [run t f xs] applies [f] to every element of [xs], using every domain
+    of the pool plus the calling domain, and returns the results {e in
+    input order}. If one or more applications raise, the whole batch still
+    runs to completion and the exception of the smallest input index is
+    re-raised in the caller. Not reentrant: one batch at a time per pool. *)
+
+val map : ?pool:t -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [run] on [pool] when given, else on a transient
+    pool of [jobs] workers (created and shut down around the batch).
+    [jobs <= 1] is sequential [List.map] — no domains, no queue. *)
+
+val shutdown : t -> unit
+(** Graceful teardown: signal the workers to exit once the queue is empty
+    and join them. Idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'b) -> 'b
+(** [with_pool ~jobs f] runs [f] with a fresh pool, guaranteeing
+    {!shutdown} on exit (normal or exceptional). *)

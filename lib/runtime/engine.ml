@@ -409,20 +409,23 @@ let run ?until ?stop_when t =
       (* Only recurring monitors remain: the simulated program has
          finished (or deadlocked); ticking on would never terminate. *)
       continue_ := false
-    else
-      match Event_queue.peek_time t.queue with
-      | None -> continue_ := false
-      | Some time when time > horizon ->
-          t.last_time <- max t.last_time horizon;
-          continue_ := false
-      | Some _ -> (
-          match Event_queue.pop t.queue with
-          | None -> continue_ := false
-          | Some (time, ev) ->
-              if not (is_daemon ev) then
-                t.nondaemon_pending <- t.nondaemon_pending - 1;
-              step t time ev;
-              if stop () then continue_ := false)
+    else if Event_queue.is_empty t.queue then continue_ := false
+    else begin
+      (* min_time/pop_min rather than peek_time/pop: this is the innermost
+         simulation loop and must not allocate per event. *)
+      let time = Event_queue.min_time t.queue in
+      if time > horizon then begin
+        t.last_time <- max t.last_time horizon;
+        continue_ := false
+      end
+      else begin
+        let ev = Event_queue.pop_min t.queue in
+        if not (is_daemon ev) then
+          t.nondaemon_pending <- t.nondaemon_pending - 1;
+        step t time ev;
+        if stop () then continue_ := false
+      end
+    end
   done
 
 let finalize_idle t =

@@ -1,26 +1,45 @@
-type 'a entry = { time : int; seq : int; payload : 'a }
+(* The heap is three parallel arrays — times, seqs, payloads — instead of
+   one array of records, so [push]/[pop_min] move plain ints and never
+   allocate. (A true single-array packing of [time * seq] into one int is
+   not safe: times are unbounded cycle counts and seqs are unbounded
+   insertion counters, so their product can exceed 63 bits.)
+
+   A popped payload stays in [payloads] until its slot is overwritten; for
+   the engine's small event payloads that retention is harmless. *)
 
 type 'a t = {
-  mutable heap : 'a entry array;
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable payloads : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+let create () =
+  { times = [||]; seqs = [||]; payloads = [||]; size = 0; next_seq = 0 }
+
 let length t = t.size
 let is_empty t = t.size = 0
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let before t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
 
 let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+  let time = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- time;
+  let seq = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- seq;
+  let payload = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- payload
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before t.heap.(i) t.heap.(parent) then begin
+    if before t i parent then begin
       swap t i parent;
       sift_up t parent
     end
@@ -28,49 +47,70 @@ let rec sift_up t i =
 
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
+  let smallest = if l < t.size && before t l i then l else i in
+  let smallest = if r < t.size && before t r smallest then r else smallest in
+  if smallest <> i then begin
+    swap t i smallest;
+    sift_down t smallest
   end
+
+let grow t payload =
+  let cap = max 64 (2 * t.size) in
+  let times = Array.make cap 0 in
+  let seqs = Array.make cap 0 in
+  let payloads = Array.make cap payload in
+  Array.blit t.times 0 times 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.payloads 0 payloads 0 t.size;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.payloads <- payloads
 
 let push t ~time payload =
   if time < 0 then invalid_arg "Event_queue.push: negative time";
-  let entry = { time; seq = t.next_seq; payload } in
+  if t.size = Array.length t.times then grow t payload;
+  let i = t.size in
+  t.times.(i) <- time;
+  t.seqs.(i) <- t.next_seq;
+  t.payloads.(i) <- payload;
   t.next_seq <- t.next_seq + 1;
-  if t.size = Array.length t.heap then begin
-    let cap = max 64 (2 * t.size) in
-    let bigger = Array.make cap entry in
-    Array.blit t.heap 0 bigger 0 t.size;
-    t.heap <- bigger
-  end;
-  t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  sift_up t i
+
+let min_time t =
+  if t.size = 0 then invalid_arg "Event_queue.min_time: empty queue";
+  t.times.(0)
+
+let pop_min t =
+  if t.size = 0 then invalid_arg "Event_queue.pop_min: empty queue";
+  let top = t.payloads.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.times.(0) <- t.times.(t.size);
+    t.seqs.(0) <- t.seqs.(t.size);
+    t.payloads.(0) <- t.payloads.(t.size);
+    sift_down t 0
+  end;
+  top
 
 let pop t =
   if t.size = 0 then None
-  else begin
-    let top = t.heap.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
-      sift_down t 0
-    end;
-    Some (top.time, top.payload)
-  end
+  else
+    let time = t.times.(0) in
+    let payload = pop_min t in
+    Some (time, payload)
 
-let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+let peek_time t = if t.size = 0 then None else Some t.times.(0)
 
 let clear t =
   t.size <- 0;
-  t.heap <- [||]
+  t.times <- [||];
+  t.seqs <- [||];
+  t.payloads <- [||]
 
 let check_heap_property t =
   let ok = ref true in
   for i = 1 to t.size - 1 do
-    if before t.heap.(i) t.heap.((i - 1) / 2) then ok := false
+    if before t i ((i - 1) / 2) then ok := false
   done;
   !ok

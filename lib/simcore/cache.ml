@@ -36,13 +36,15 @@ let probe t line =
 
 let contains t line = Lru.mem t.lru line
 
-let fill t line =
+let fill_evict t line =
   t.stats.fills <- t.stats.fills + 1;
-  let victim = Lru.add t.lru line in
-  (match victim with
-  | Some _ -> t.stats.evictions <- t.stats.evictions + 1
-  | None -> ());
+  let victim = Lru.add_evict t.lru line in
+  if victim >= 0 then t.stats.evictions <- t.stats.evictions + 1;
   victim
+
+let fill t line =
+  let victim = fill_evict t line in
+  if victim < 0 then None else Some victim
 
 let invalidate t line =
   let present = Lru.remove t.lru line in

@@ -32,7 +32,12 @@ val contains : t -> int -> bool
     snapshots). *)
 
 val fill : t -> int -> int option
-(** Insert a line after a miss; returns the evicted victim line, if any. *)
+(** Insert a line after a miss; returns the evicted victim line, if any.
+    Allocating wrapper over {!fill_evict}. *)
+
+val fill_evict : t -> int -> int
+(** [fill] without the option: the evicted line, or [-1] when nothing was
+    evicted. Allocation-free (the access path uses this). *)
 
 val invalidate : t -> int -> bool
 (** Coherence removal; returns whether the line was present. *)

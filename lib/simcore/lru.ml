@@ -23,7 +23,10 @@ let create ~cap =
   let tbl_size = pow2 (4 * cap) 16 in
   let next = Array.make (cap + 1) (-1) in
   let prev = Array.make (cap + 1) (-1) in
-  (* free list through next *)
+  (* free list through next; safe at [cap = 1] because the free-list
+     terminator lives at index [cap - 1 = 0] and the sentinel self-links
+     live at index [cap = 1] — distinct cells, so the write order cannot
+     clobber anything (pinned by the cap=1 tests in suite_lru). *)
   for i = 0 to cap - 1 do
     next.(i) <- i + 1
   done;
@@ -46,16 +49,15 @@ let length t = t.size
 
 let hash t key = (key * 0x2545F491) land t.mask
 
-(* Probe position of [key], or of the first empty slot. *)
-let probe t key =
-  let i = ref (hash t key) in
-  while
-    let s = t.table.(!i) in
-    s <> 0 && t.keys.(s - 1) <> key
-  do
-    i := (!i + 1) land t.mask
-  done;
-  !i
+(* Probe position of [key], or of the first empty slot. Recursive rather
+   than a [ref] loop: no flambda, so a local ref would allocate on every
+   cache probe. *)
+let rec probe_from t key i =
+  let s = t.table.(i) in
+  if s <> 0 && t.keys.(s - 1) <> key then probe_from t key ((i + 1) land t.mask)
+  else i
+
+let probe t key = probe_from t key (hash t key)
 
 let find_slot t key =
   let i = probe t key in
@@ -83,22 +85,23 @@ let touch t key =
     true
   end
 
-(* Backward-shift deletion at probe position [i]. *)
+(* Backward-shift deletion: walk forward from the hole at [i], moving each
+   entry at [j] into the hole unless its home position lies cyclically
+   within (i, j]. *)
+let rec backward_shift t i j =
+  if t.table.(j) <> 0 then begin
+    let h = hash t t.keys.(t.table.(j) - 1) in
+    if (j - h) land t.mask >= (j - i) land t.mask then begin
+      t.table.(i) <- t.table.(j);
+      t.table.(j) <- 0;
+      backward_shift t j ((j + 1) land t.mask)
+    end
+    else backward_shift t i ((j + 1) land t.mask)
+  end
+
 let table_delete_at t i =
   t.table.(i) <- 0;
-  let i = ref i in
-  let j = ref ((!i + 1) land t.mask) in
-  while t.table.(!j) <> 0 do
-    let h = hash t t.keys.(t.table.(!j) - 1) in
-    (* entry at j belongs at h; move it into the hole at i unless h lies
-       cyclically within (i, j] *)
-    if (!j - h) land t.mask >= (!j - !i) land t.mask then begin
-      t.table.(!i) <- t.table.(!j);
-      t.table.(!j) <- 0;
-      i := !j
-    end;
-    j := (!j + 1) land t.mask
-  done
+  backward_shift t i ((i + 1) land t.mask)
 
 let table_remove t key =
   let i = probe t key in
@@ -118,34 +121,38 @@ let remove t key =
 
 let lru_key t = if t.size = 0 then None else Some t.keys.(t.prev.(t.cap))
 
-let add t key =
-  if touch t key then None
-  else begin
-    let victim = ref None in
-    let s =
-      if t.size >= t.cap then begin
-        (* evict the tail slot and reuse it *)
-        let tail = t.prev.(t.cap) in
-        let vkey = t.keys.(tail) in
-        unlink t tail;
-        table_remove t vkey;
-        t.size <- t.size - 1;
-        victim := Some vkey;
-        tail
-      end
-      else begin
-        let s = t.free in
-        t.free <- t.next.(s);
-        s
-      end
-    in
-    t.keys.(s) <- key;
-    push_front t s;
-    let i = probe t key in
-    t.table.(i) <- s + 1;
-    t.size <- t.size + 1;
-    !victim
+(* Allocation-free insert: the evicted key comes back as a bare int, with
+   [-1] for "nothing evicted". Fine for cache lines, whose numbers are
+   always non-negative. *)
+let install t key s =
+  t.keys.(s) <- key;
+  push_front t s;
+  let i = probe t key in
+  t.table.(i) <- s + 1;
+  t.size <- t.size + 1
+
+let add_evict t key =
+  if touch t key then -1
+  else if t.size >= t.cap then begin
+    (* evict the tail slot and reuse it *)
+    let tail = t.prev.(t.cap) in
+    let vkey = t.keys.(tail) in
+    unlink t tail;
+    table_remove t vkey;
+    t.size <- t.size - 1;
+    install t key tail;
+    vkey
   end
+  else begin
+    let s = t.free in
+    t.free <- t.next.(s);
+    install t key s;
+    -1
+  end
+
+let add t key =
+  let victim = add_evict t key in
+  if victim < 0 then None else Some victim
 
 let iter f t =
   let s = ref t.next.(t.cap) in

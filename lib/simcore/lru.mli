@@ -23,7 +23,13 @@ val touch : t -> int -> bool
 val add : t -> int -> int option
 (** [add t k] inserts [k] as most-recently-used. Returns [Some victim] if a
     least-recently-used key had to be evicted, [None] otherwise. Adding a
-    present key just touches it (returns [None]). *)
+    present key just touches it (returns [None]). Allocating wrapper over
+    {!add_evict}. *)
+
+val add_evict : t -> int -> int
+(** [add_evict t k] is {!add} without the option: returns the evicted key,
+    or [-1] when nothing was evicted. Allocation-free; assumes keys are
+    non-negative (cache line numbers are). *)
 
 val remove : t -> int -> bool
 (** [remove t k] deletes [k]; returns whether it was present. *)

@@ -8,6 +8,14 @@ type t = {
   dram : Dram.t;
   mem : Memsys.t;
   ctr : Counters.t array;
+  (* Per home bank: how many lines the access in flight streams from DRAM.
+     A scratch array hoisted out of [read]/[write] (which never nest) so
+     the access path does not allocate. *)
+  dram_scratch : int array;
+  (* Prebuilt closures handed to [Presence.nearest_*] on every miss; built
+     once here so the miss path does not repeat the partial applications. *)
+  hops_fn : int -> int -> int;
+  chip_of_fn : int -> int;
 }
 
 let create cfg =
@@ -36,6 +44,9 @@ let create cfg =
     dram = Dram.create cfg topo;
     mem = Memsys.create ~line_bytes:line ();
     ctr = Counters.create_array ncores;
+    dram_scratch = Array.make cfg.Config.chips 0;
+    hops_fn = Topology.hops topo;
+    chip_of_fn = Config.chip_of_core cfg;
   }
 
 let cfg t = t.cfg
@@ -66,76 +77,45 @@ let core_still_holds t core line =
    capacity the paper's 16 MB (16 x 512 KB L2 + 4 x 2 MB L3). *)
 
 let fill_l3 t chip line =
-  (match Cache.fill t.l3.(chip) line with
-  | Some victim -> Presence.clear_chip t.presence ~line:victim ~chip
-  | None -> ());
+  let victim = Cache.fill_evict t.l3.(chip) line in
+  if victim >= 0 then Presence.clear_chip t.presence ~line:victim ~chip;
   Presence.set_chip t.presence ~line ~chip
 
 let fill_l1 t core line =
-  match Cache.fill t.l1.(core) line with
-  | Some victim when not (Cache.contains t.l2.(core) victim) ->
-      Presence.clear_core t.presence ~line:victim ~core
-  | Some _ | None -> ()
+  let victim = Cache.fill_evict t.l1.(core) line in
+  if victim >= 0 && not (Cache.contains t.l2.(core) victim) then
+    Presence.clear_core t.presence ~line:victim ~core
 
 let fill_l2 t core line =
-  match Cache.fill t.l2.(core) line with
-  | Some victim ->
-      if not (Cache.contains t.l1.(core) victim) then begin
-        Presence.clear_core t.presence ~line:victim ~core;
-        (* victim-cache insertion into the chip's L3 *)
-        fill_l3 t (chip_of_core t core) victim
-      end
-  | None -> ()
+  let victim = Cache.fill_evict t.l2.(core) line in
+  if victim >= 0 && not (Cache.contains t.l1.(core) victim) then begin
+    Presence.clear_core t.presence ~line:victim ~core;
+    (* victim-cache insertion into the chip's L3 *)
+    fill_l3 t (chip_of_core t core) victim
+  end
 
 let fill_private t core line =
   fill_l1 t core line;
   fill_l2 t core line;
   Presence.set_core t.presence ~line ~core
 
-(* Where a missing line will be sourced from. *)
-type source =
-  | From_remote of int  (* latency cycles *)
-  | From_dram of int  (* home chip *)
-
-let locate t ~core ~chip line =
-  let hops = Topology.hops t.topo in
-  match
-    Presence.nearest_core_holder t.presence ~line ~exclude_core:core
-      ~chip_of_core:(chip_of_core t) ~from_chip:chip ~hops
-  with
-  | Some holder ->
-      From_remote
-        (Topology.remote_cache_latency t.topo ~from_chip:chip
-           ~to_chip:(chip_of_core t holder))
-  | None -> (
-      match
-        Presence.nearest_chip_holder t.presence ~line ~exclude_chip:chip
-          ~from_chip:chip ~hops
-      with
-      | Some holder_chip ->
-          From_remote
-            (Topology.remote_cache_latency t.topo ~from_chip:chip
-               ~to_chip:holder_chip)
-      | None ->
-          From_dram
-            (Topology.home_chip t.topo
-               ~addr:(line * t.cfg.Config.line_bytes)))
-
-(* One load. Returns (cache_cycles, dram_home_opt): DRAM lines are not
-   charged here; the caller batches them per home bank so that concurrent
-   banks overlap. *)
+(* One load: the cost in cache cycles of sourcing [line]. Lines that miss
+   everywhere and fall through to DRAM cost 0 here; they are tallied into
+   [t.dram_scratch] per home bank so [read]/[write] can batch them (fetches
+   to different banks overlap). The whole path — probes, fills, presence
+   updates, nearest-holder location — is allocation-free. *)
 let read_line t ~core ~chip line =
   let c = t.ctr.(core) in
   c.Counters.loads <- c.Counters.loads + 1;
   if Cache.probe t.l1.(core) line then begin
     c.Counters.l1_hits <- c.Counters.l1_hits + 1;
-    (t.cfg.Config.l1_latency, None)
+    t.cfg.Config.l1_latency
   end
   else if Cache.probe t.l2.(core) line then begin
     c.Counters.l2_hits <- c.Counters.l2_hits + 1;
     fill_l1 t core line;
     Presence.set_core t.presence ~line ~core;
-    (t.cfg.Config.l2_latency, None)
+    t.cfg.Config.l2_latency
   end
   else if Cache.probe t.l3.(chip) line then begin
     c.Counters.l3_hits <- c.Counters.l3_hits + 1;
@@ -143,60 +123,75 @@ let read_line t ~core ~chip line =
     ignore (Cache.drop t.l3.(chip) line);
     Presence.clear_chip t.presence ~line ~chip;
     fill_private t core line;
-    (t.cfg.Config.l3_latency, None)
+    t.cfg.Config.l3_latency
   end
   else begin
-    match locate t ~core ~chip line with
-    | From_remote latency ->
-        c.Counters.remote_hits <- c.Counters.remote_hits + 1;
-        fill_private t core line;
-        (latency, None)
-    | From_dram home ->
-        c.Counters.dram_loads <- c.Counters.dram_loads + 1;
-        fill_private t core line;
-        (0, Some home)
+    (* Missed the local hierarchy: nearest remote holder, else home DRAM. *)
+    let holder =
+      Presence.nearest_core_holder t.presence ~line ~exclude_core:core
+        ~chip_of_core:t.chip_of_fn ~from_chip:chip ~hops:t.hops_fn
+    in
+    let holder_chip =
+      if holder >= 0 then chip_of_core t holder
+      else
+        Presence.nearest_chip_holder t.presence ~line ~exclude_chip:chip
+          ~from_chip:chip ~hops:t.hops_fn
+    in
+    if holder_chip >= 0 then begin
+      c.Counters.remote_hits <- c.Counters.remote_hits + 1;
+      fill_private t core line;
+      Topology.remote_cache_latency t.topo ~from_chip:chip
+        ~to_chip:holder_chip
+    end
+    else begin
+      let home =
+        Topology.home_chip t.topo ~addr:(line * t.cfg.Config.line_bytes)
+      in
+      c.Counters.dram_loads <- c.Counters.dram_loads + 1;
+      fill_private t core line;
+      t.dram_scratch.(home) <- t.dram_scratch.(home) + 1;
+      0
+    end
   end
 
-let lines_of_range t ~addr ~len =
-  let first = line_of t addr in
-  let last = line_of t (addr + max len 1 - 1) in
-  (first, last)
+(* The accumulating loops below are recursive rather than [ref]-based:
+   without flambda a local ref is a minor allocation, and [read]/[write]
+   are the hottest functions in the simulator. *)
+
+let rec read_lines t ~core ~chip line last acc =
+  if line > last then acc
+  else read_lines t ~core ~chip (line + 1) last (acc + read_line t ~core ~chip line)
+
+(* Cost of the batched DRAM traffic tallied in [t.dram_scratch]: fetches
+   to different home banks overlap, so the result is the max over banks. *)
+let rec dram_batch_cost t ~now ~chip home acc =
+  if home >= Array.length t.dram_scratch then acc
+  else begin
+    let n = t.dram_scratch.(home) in
+    let acc =
+      if n = 0 then acc
+      else begin
+        let c = Dram.fetch t.dram ~now ~from_chip:chip ~home_chip:home ~lines:n in
+        if c > acc then c else acc
+      end
+    in
+    dram_batch_cost t ~now ~chip (home + 1) acc
+  end
 
 let read t ~core ~now ~addr ~len =
   if len <= 0 then 0
   else begin
     let chip = chip_of_core t core in
-    let first, last = lines_of_range t ~addr ~len in
-    let cache_cycles = ref 0 in
-    (* Per home bank: how many lines this access streams from DRAM. *)
-    let dram_lines = Array.make t.cfg.Config.chips 0 in
-    for line = first to last do
-      let cost, dram_home = read_line t ~core ~chip line in
-      cache_cycles := !cache_cycles + cost;
-      match dram_home with
-      | Some home -> dram_lines.(home) <- dram_lines.(home) + 1
-      | None -> ()
-    done;
-    let dram_cost = ref 0 in
-    Array.iteri
-      (fun home n ->
-        if n > 0 then begin
-          let c =
-            Dram.fetch t.dram ~now:(now + !cache_cycles) ~from_chip:chip
-              ~home_chip:home ~lines:n
-          in
-          if c > !dram_cost then dram_cost := c
-        end)
-      dram_lines;
-    !cache_cycles + !dram_cost
+    let first = line_of t addr in
+    let last = line_of t (addr + len - 1) in
+    Array.fill t.dram_scratch 0 (Array.length t.dram_scratch) 0;
+    let cache_cycles = read_lines t ~core ~chip first last 0 in
+    cache_cycles
+    + dram_batch_cost t ~now:(now + cache_cycles) ~chip 0 0
   end
 
-let invalidate_others t ~core ~chip line =
-  let invalidated = ref false in
-  let holders = Presence.core_holders t.presence ~line in
-  let mask = holders land lnot (1 lsl core) in
-  if mask <> 0 then begin
-    invalidated := true;
+let invalidate_core_copies t line mask =
+  if mask <> 0 then
     for h = 0 to Config.cores t.cfg - 1 do
       if mask land (1 lsl h) <> 0 then begin
         ignore (Cache.invalidate t.l1.(h) line);
@@ -204,51 +199,48 @@ let invalidate_others t ~core ~chip line =
         Presence.clear_core t.presence ~line ~core:h
       end
     done
-  end;
-  let chip_mask = Presence.chip_holders t.presence ~line land lnot (1 lsl chip) in
-  if chip_mask <> 0 then begin
-    invalidated := true;
+
+let invalidate_chip_copies t line mask =
+  if mask <> 0 then
     for p = 0 to t.cfg.Config.chips - 1 do
-      if chip_mask land (1 lsl p) <> 0 then begin
+      if mask land (1 lsl p) <> 0 then begin
         ignore (Cache.invalidate t.l3.(p) line);
         Presence.clear_chip t.presence ~line ~chip:p
       end
     done
-  end;
-  !invalidated
+
+let invalidate_others t ~core ~chip line =
+  let mask = Presence.core_holders t.presence ~line land lnot (1 lsl core) in
+  invalidate_core_copies t line mask;
+  let chip_mask = Presence.chip_holders t.presence ~line land lnot (1 lsl chip) in
+  invalidate_chip_copies t line chip_mask;
+  mask <> 0 || chip_mask <> 0
+
+let rec write_lines t ~core ~chip line last acc =
+  if line > last then acc
+  else begin
+    let c = t.ctr.(core) in
+    c.Counters.stores <- c.Counters.stores + 1;
+    let acc = acc + read_line t ~core ~chip line in
+    let acc =
+      if invalidate_others t ~core ~chip line then begin
+        c.Counters.invalidations_sent <- c.Counters.invalidations_sent + 1;
+        acc + t.cfg.Config.invalidate_cycles
+      end
+      else acc
+    in
+    write_lines t ~core ~chip (line + 1) last acc
+  end
 
 let write t ~core ~now ~addr ~len =
   if len <= 0 then 0
   else begin
     let chip = chip_of_core t core in
-    let first, last = lines_of_range t ~addr ~len in
-    let c = t.ctr.(core) in
-    let cycles = ref 0 in
-    let dram_lines = Array.make t.cfg.Config.chips 0 in
-    for line = first to last do
-      c.Counters.stores <- c.Counters.stores + 1;
-      let cost, dram_home = read_line t ~core ~chip line in
-      cycles := !cycles + cost;
-      (match dram_home with
-      | Some home -> dram_lines.(home) <- dram_lines.(home) + 1
-      | None -> ());
-      if invalidate_others t ~core ~chip line then begin
-        c.Counters.invalidations_sent <- c.Counters.invalidations_sent + 1;
-        cycles := !cycles + t.cfg.Config.invalidate_cycles
-      end
-    done;
-    let dram_cost = ref 0 in
-    Array.iteri
-      (fun home n ->
-        if n > 0 then begin
-          let cost =
-            Dram.fetch t.dram ~now:(now + !cycles) ~from_chip:chip
-              ~home_chip:home ~lines:n
-          in
-          if cost > !dram_cost then dram_cost := cost
-        end)
-      dram_lines;
-    !cycles + !dram_cost
+    let first = line_of t addr in
+    let last = line_of t (addr + len - 1) in
+    Array.fill t.dram_scratch 0 (Array.length t.dram_scratch) 0;
+    let cycles = write_lines t ~core ~chip first last 0 in
+    cycles + dram_batch_cost t ~now:(now + cycles) ~chip 0 0
   end
 
 let line_resident t ~core ~addr =

@@ -26,13 +26,13 @@ let create () =
 
 let hash t line = (line * 0x2545F491) land t.mask
 
-let probe t line =
-  let k = line + 1 in
-  let i = ref (hash t line) in
-  while t.keys.(!i) <> 0 && t.keys.(!i) <> k do
-    i := (!i + 1) land t.mask
-  done;
-  !i
+(* Recursive rather than a [ref] loop: no flambda, so a local ref would
+   allocate on every miss-path lookup. *)
+let rec probe_from t k i =
+  if t.keys.(i) <> 0 && t.keys.(i) <> k then probe_from t k ((i + 1) land t.mask)
+  else i
+
+let probe t line = probe_from t (line + 1) (hash t line)
 
 let rec grow t =
   let old_keys = t.keys and old_cores = t.cores_ and old_chips = t.chips_ in
@@ -57,26 +57,27 @@ and insert_masks t line cores chips =
   t.cores_.(i) <- t.cores_.(i) lor cores;
   t.chips_.(i) <- t.chips_.(i) lor chips
 
+let rec backward_shift t i j =
+  if t.keys.(j) <> 0 then begin
+    let h = (t.keys.(j) - 1) * 0x2545F491 land t.mask in
+    if (j - h) land t.mask >= (j - i) land t.mask then begin
+      t.keys.(i) <- t.keys.(j);
+      t.cores_.(i) <- t.cores_.(j);
+      t.chips_.(i) <- t.chips_.(j);
+      t.keys.(j) <- 0;
+      t.cores_.(j) <- 0;
+      t.chips_.(j) <- 0;
+      backward_shift t j ((j + 1) land t.mask)
+    end
+    else backward_shift t i ((j + 1) land t.mask)
+  end
+
 let delete_at t i =
   t.keys.(i) <- 0;
   t.cores_.(i) <- 0;
   t.chips_.(i) <- 0;
   t.size <- t.size - 1;
-  let i = ref i in
-  let j = ref ((!i + 1) land t.mask) in
-  while t.keys.(!j) <> 0 do
-    let h = (t.keys.(!j) - 1) * 0x2545F491 land t.mask in
-    if (!j - h) land t.mask >= (!j - !i) land t.mask then begin
-      t.keys.(!i) <- t.keys.(!j);
-      t.cores_.(!i) <- t.cores_.(!j);
-      t.chips_.(!i) <- t.chips_.(!j);
-      t.keys.(!j) <- 0;
-      t.cores_.(!j) <- 0;
-      t.chips_.(!j) <- 0;
-      i := !j
-    end;
-    j := (!j + 1) land t.mask
-  done
+  backward_shift t i ((i + 1) land t.mask)
 
 let set_core t ~line ~core = insert_masks t line (1 lsl core) 0
 let set_chip t ~line ~chip = insert_masks t line 0 (1 lsl chip)
@@ -107,44 +108,42 @@ let cached_anywhere t ~line =
   let i = probe t line in
   t.keys.(i) <> 0 && (t.cores_.(i) <> 0 || t.chips_.(i) <> 0)
 
-(* Iterate set bits of [mask], calling [f] with each bit index, lowest
-   first. *)
-let iter_bits mask f =
-  let rec idx b i = if b = 1 then i else idx (b lsr 1) (i + 1) in
-  let m = ref mask in
-  while !m <> 0 do
-    let bit = !m land (- !m) in
-    f (idx bit 0);
-    m := !m land lnot bit
-  done
+(* The nearest-holder scans return a bare id with [-1] for "no holder",
+   and loop over the mask bits directly — no option, no closure, no refs —
+   because they run on the miss path of every simulated load. Ties on hop
+   distance go to the lowest id (the lowest set bit wins). *)
+let rec bit_index b i = if b = 1 then i else bit_index (b lsr 1) (i + 1)
+
+let rec nearest_core_loop ~chip_of_core ~from_chip ~hops mask best best_h =
+  if mask = 0 then best
+  else begin
+    let bit = mask land -mask in
+    let core = bit_index bit 0 in
+    let h = hops from_chip (chip_of_core core) in
+    let rest = mask land lnot bit in
+    if h < best_h then
+      nearest_core_loop ~chip_of_core ~from_chip ~hops rest core h
+    else nearest_core_loop ~chip_of_core ~from_chip ~hops rest best best_h
+  end
 
 let nearest_core_holder t ~line ~exclude_core ~chip_of_core ~from_chip ~hops =
   let mask = core_holders t ~line land lnot (1 lsl exclude_core) in
-  if mask = 0 then None
+  nearest_core_loop ~chip_of_core ~from_chip ~hops mask (-1) max_int
+
+let rec nearest_chip_loop ~from_chip ~hops mask best best_h =
+  if mask = 0 then best
   else begin
-    let best = ref (-1) and best_h = ref max_int in
-    iter_bits mask (fun core ->
-        let h = hops from_chip (chip_of_core core) in
-        if h < !best_h then begin
-          best_h := h;
-          best := core
-        end);
-    Some !best
+    let bit = mask land -mask in
+    let chip = bit_index bit 0 in
+    let h = hops from_chip chip in
+    let rest = mask land lnot bit in
+    if h < best_h then nearest_chip_loop ~from_chip ~hops rest chip h
+    else nearest_chip_loop ~from_chip ~hops rest best best_h
   end
 
 let nearest_chip_holder t ~line ~exclude_chip ~from_chip ~hops =
   let mask = chip_holders t ~line land lnot (1 lsl exclude_chip) in
-  if mask = 0 then None
-  else begin
-    let best = ref (-1) and best_h = ref max_int in
-    iter_bits mask (fun chip ->
-        let h = hops from_chip chip in
-        if h < !best_h then begin
-          best_h := h;
-          best := chip
-        end);
-    Some !best
-  end
+  nearest_chip_loop ~from_chip ~hops mask (-1) max_int
 
 let tracked_lines t = t.size
 

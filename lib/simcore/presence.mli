@@ -32,14 +32,17 @@ val cached_anywhere : t -> line:int -> bool
 
 val nearest_core_holder :
   t -> line:int -> exclude_core:int -> chip_of_core:(int -> int) -> from_chip:int ->
-  hops:(int -> int -> int) -> int option
+  hops:(int -> int -> int) -> int
 (** The holder core (other than [exclude_core]) whose chip is fewest hops
-    from [from_chip]; ties broken by lowest core id. *)
+    from [from_chip]; ties broken by lowest core id. [-1] when no other
+    core holds the line — a bare int rather than an option, because this
+    runs on the miss path of every simulated load and must not allocate. *)
 
 val nearest_chip_holder :
   t -> line:int -> exclude_chip:int -> from_chip:int ->
-  hops:(int -> int -> int) -> int option
-(** Nearest chip (other than [exclude_chip]) whose L3 holds [line]. *)
+  hops:(int -> int -> int) -> int
+(** Nearest chip (other than [exclude_chip]) whose L3 holds [line]; [-1]
+    when none. *)
 
 val tracked_lines : t -> int
 (** Number of lines with at least one holder (for tests/metrics). *)

@@ -4,11 +4,13 @@ let create cfg =
   let rec width n = if n * n >= cfg.Config.chips then n else width (n + 1) in
   { cfg; width = width 1 }
 
-let coords t chip = (chip mod t.width, chip / t.width)
-
+(* Chips sit on a [width]-wide grid: chip [c] is at
+   [(c mod width, c / width)]. [hops] keeps the coordinates as bare ints —
+   it runs on the locate path of every simulated cache miss, and a
+   tuple-returning [coords] helper would box per chip visited. *)
 let hops t a b =
-  let xa, ya = coords t a and xb, yb = coords t b in
-  abs (xa - xb) + abs (ya - yb)
+  abs ((a mod t.width) - (b mod t.width))
+  + abs ((a / t.width) - (b / t.width))
 
 let max_hops t =
   let n = t.cfg.Config.chips in

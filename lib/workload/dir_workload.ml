@@ -46,6 +46,8 @@ type t = {
   dir_addr : int array;  (* first-cluster address: the ct_start argument *)
   file_names83 : string array;  (* shared: every dir has the same names *)
   perm : int array;  (* popularity rank -> directory index *)
+  zipf_ : Dist.t option;  (* built once here: no global cache, so cells of
+                             a parallel sweep share no mutable state *)
   mutable active_ : int;
   mutable next_seed : int;
 }
@@ -93,6 +95,11 @@ let build ct spec =
   let perm = Array.init spec.dirs Fun.id in
   if spec.shuffle_popularity then
     Rng.shuffle (Rng.create ~seed:(spec.seed lxor 0x5eed)) perm;
+  let zipf_ =
+    match spec.dir_dist with
+    | `Uniform -> None
+    | `Zipf s -> Some (Dist.zipf ~n:spec.dirs ~s)
+  in
   {
     ct;
     fs_;
@@ -102,6 +109,7 @@ let build ct spec =
     dir_addr;
     file_names83;
     perm;
+    zipf_;
     active_ = spec.dirs;
     next_seed = spec.seed;
   }
@@ -122,25 +130,12 @@ let rotate_popularity t ~by =
     Array.blit rotated 0 t.perm 0 n
   end
 
-(* Zipf cdfs are expensive to build; cache them per (n, s). Sampling maps
-   the full rank order into the active prefix so shrinking the set keeps
-   the skew shape. *)
-let zipf_cache : (int * int, Dist.t) Hashtbl.t = Hashtbl.create 4
-
+(* Sampling maps the full rank order into the active prefix so shrinking
+   the set keeps the skew shape. *)
 let pick_dir t rng =
-  match t.spec_.dir_dist with
-  | `Uniform -> t.perm.(Rng.int rng ~bound:t.active_)
-  | `Zipf s ->
-      let key = (Array.length t.dirs_, int_of_float (s *. 1000.0)) in
-      let d =
-        match Hashtbl.find_opt zipf_cache key with
-        | Some d -> d
-        | None ->
-            let d = Dist.zipf ~n:(Array.length t.dirs_) ~s in
-            Hashtbl.add zipf_cache key d;
-            d
-      in
-      t.perm.(Dist.sample d rng mod t.active_)
+  match t.zipf_ with
+  | None -> t.perm.(Rng.int rng ~bound:t.active_)
+  | Some d -> t.perm.(Dist.sample d rng mod t.active_)
 
 let one_lookup t rng =
   let di = pick_dir t rng in

@@ -219,15 +219,31 @@ let test_lint_rules () =
     "raw Mutex outside lib/runtime/" [ "raw-mutex" ]
     (lint_codes ~path:"lib/core/x.ml" "let m = Mutex.create ()\n");
   Alcotest.(check (list string))
-    "Mutex allowed inside lib/runtime/" []
-    (lint_codes ~path:"lib/runtime/x.ml" "let m = Mutex.create ()\n");
+    "primitives allowed in the domain pool" []
+    (lint_codes ~path:"lib/runtime/domain_pool.ml"
+       "let m = Mutex.create ()\nlet d = Domain.spawn f\n");
+  Alcotest.(check (list string))
+    "allowlist matches under any root prefix" []
+    (lint_codes ~path:"./lib/runtime/domain_pool.ml"
+       "let m = Mutex.create ()\n");
+  Alcotest.(check (list string))
+    "other lib/runtime/ modules are not exempt" [ "raw-domain" ]
+    (lint_codes ~path:"lib/runtime/engine.ml" "let d = Domain.spawn f\n");
+  Alcotest.(check (list string))
+    "raw Domain in an experiment sweep" [ "raw-domain" ]
+    (lint_codes ~path:"lib/experiments/x.ml"
+       "let ds = List.map (fun c -> Domain.spawn c) cells\n");
+  Alcotest.(check (list string))
+    "calls through Domain_pool are not raw Domain use" []
+    (lint_codes ~path:"lib/experiments/x.ml"
+       "let ps = O2_runtime.Domain_pool.map ~jobs run cells\n");
   Alcotest.(check (list string))
     "ignored Api.lock result" [ "ignored-result" ]
     (lint_codes ~path:"lib/core/x.ml" "let () = ignore (Api.lock l)\n");
   Alcotest.(check (list string))
-    "allow_raw_primitives:false overrides the path exemption"
+    "allow_raw_primitives:false overrides the allowlist"
     [ "raw-domain" ]
-    (lint_codes ~path:"lib/runtime/x.ml" ~allow_raw_primitives:false
+    (lint_codes ~path:"lib/runtime/domain_pool.ml" ~allow_raw_primitives:false
        "let d = Domain.spawn f\n")
 
 let suite =

@@ -1,0 +1,94 @@
+(* The domain pool is the only real parallelism in the tree, so its
+   contract — input order preserved, deterministic exception choice,
+   reusable across batches — is what the parallel experiment harness's
+   bit-identical-output guarantee rests on. *)
+
+open O2_runtime
+
+let test_map_preserves_order () =
+  let xs = List.init 100 Fun.id in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "map at jobs=%d" jobs)
+        (List.map (fun x -> x * x) xs)
+        (Domain_pool.map ~jobs (fun x -> x * x) xs))
+    [ 1; 2; 4; 7 ]
+
+let test_jobs_one_is_sequential () =
+  (* jobs=1 must not spawn: the thunks run inline on the caller, so
+     side-effect order is exactly List.map's *)
+  let order = ref [] in
+  let out =
+    Domain_pool.map ~jobs:1
+      (fun x ->
+        order := x :: !order;
+        x + 1)
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "results" [ 2; 3; 4 ] out;
+  Alcotest.(check (list int)) "inline evaluation order" [ 3; 2; 1 ] !order
+
+let test_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" []
+    (Domain_pool.map ~jobs:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 9 ]
+    (Domain_pool.map ~jobs:4 (fun x -> x * 3) [ 3 ])
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      let raised =
+        try
+          ignore
+            (Domain_pool.map ~jobs
+               (fun x -> if x >= 3 then failwith (string_of_int x) else x)
+               (List.init 11 Fun.id));
+          None
+        with Failure msg -> Some msg
+      in
+      (* several cells fail; the *smallest input index* must win whatever
+         order the workers finished in *)
+      Alcotest.(check (option string))
+        (Printf.sprintf "first failing cell wins at jobs=%d" jobs)
+        (Some "3") raised)
+    [ 1; 2; 4 ]
+
+let test_pool_reuse () =
+  Domain_pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check int) "width" 3 (Domain_pool.jobs pool);
+      Alcotest.(check (list int)) "first batch" [ 2; 4; 6 ]
+        (Domain_pool.run pool (fun x -> 2 * x) [ 1; 2; 3 ]);
+      (* a failing batch must not poison the pool... *)
+      (try ignore (Domain_pool.run pool (fun _ -> failwith "boom") [ 0 ])
+       with Failure _ -> ());
+      (* ...and a completed batch must leave it ready for the next *)
+      Alcotest.(check (list int)) "batch after a failure" [ 10; 20 ]
+        (Domain_pool.run pool (fun x -> 10 * x) [ 1; 2 ]))
+
+let test_shutdown_idempotent () =
+  let pool = Domain_pool.create ~jobs:2 in
+  Alcotest.(check (list int)) "works before shutdown" [ 1 ]
+    (Domain_pool.run pool Fun.id [ 1 ]);
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool
+
+let test_create_rejects_nonpositive () =
+  Alcotest.check_raises "jobs=0"
+    (Invalid_argument "Domain_pool.create: jobs must be >= 1") (fun () ->
+      ignore (Domain_pool.create ~jobs:0))
+
+let suite =
+  [
+    Alcotest.test_case "map preserves input order" `Quick
+      test_map_preserves_order;
+    Alcotest.test_case "jobs=1 runs inline" `Quick test_jobs_one_is_sequential;
+    Alcotest.test_case "empty and singleton batches" `Quick
+      test_empty_and_singleton;
+    Alcotest.test_case "worker exception reaches the caller" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse;
+    Alcotest.test_case "shutdown is idempotent" `Quick test_shutdown_idempotent;
+    Alcotest.test_case "create rejects jobs <= 0" `Quick
+      test_create_rejects_nonpositive;
+  ]

@@ -30,7 +30,7 @@ let test_registry_sound () =
     ids;
   Alcotest.(check bool) "unknown id is an error" true
     (Result.is_error
-       (Registry.run_ids ~quick:true Format.str_formatter [ "nope" ]));
+       (Registry.run_ids ~quick:true ~jobs:1 Format.str_formatter [ "nope" ]));
   Alcotest.(check bool) "default set non-empty" true
     (List.exists (fun e -> e.Registry.default_set) Registry.all)
 
@@ -86,6 +86,26 @@ let test_paper_claim_fits_in_l3 () =
     true
     (ct > 0.8 *. base)
 
+(* The tentpole guarantee of the parallel harness: dispatching cells
+   through the domain pool changes wall-clock only, never results. Every
+   point field is an int or a float computed from per-cell state, so
+   structural equality is bit-identity. *)
+let test_parallel_sweep_bit_identical () =
+  let cells =
+    List.concat_map
+      (fun kb ->
+        let spec = O2_workload.Dir_workload.spec_for_data_kb ~kb () in
+        List.map
+          (fun policy ->
+            Harness.setup ~policy ~warmup:2_000_000 ~measure:2_000_000 spec)
+          [ Coretime.Policy.baseline; Coretime.Policy.default ])
+      [ 256; 1024 ]
+  in
+  let seq = Harness.run_cells ~jobs:1 cells in
+  let par = Harness.run_cells ~jobs:4 cells in
+  Alcotest.(check int) "cell count" (List.length cells) (List.length par);
+  Alcotest.(check bool) "jobs=4 rows bit-identical to jobs=1" true (seq = par)
+
 let test_fig2_partitioning () =
   let o2 = Fig2.run_one ~policy:Fig2.o2_policy ~scheduler:"o2" in
   let thread =
@@ -104,6 +124,8 @@ let suite =
     Alcotest.test_case "experiment registry" `Quick test_registry_sound;
     Alcotest.test_case "harness point fields" `Quick test_harness_point_shape;
     Alcotest.test_case "figure 4 x-axis ladder" `Quick test_kb_ladder;
+    Alcotest.test_case "parallel sweep is bit-identical" `Slow
+      test_parallel_sweep_bit_identical;
     Alcotest.test_case "paper claim: CoreTime wins beyond L3" `Slow test_paper_claim_beyond_l3;
     Alcotest.test_case "paper claim: parity when data fits" `Slow test_paper_claim_fits_in_l3;
     Alcotest.test_case "figure 2: O2 partitions the caches" `Slow test_fig2_partitioning;

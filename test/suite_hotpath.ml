@@ -1,0 +1,110 @@
+(* Steady-state allocation probes for the simulator's three hot paths:
+   the event queue (innermost engine loop), Machine.read (every simulated
+   memory access), and the FAT directory scan (the workload's kernel).
+   Each loop runs after a warmup access and must stay within a small
+   fixed slack — per-operation allocation would show up as tens of
+   thousands of minor words. *)
+
+open O2_simcore
+
+let iters = 10_000
+
+(* Gc.minor_words returns a boxed float (2-3 words per call), and the
+   Alcotest plumbing around the probe may allocate a little; anything
+   per-op would cost >= iters words. *)
+let slack = 256.0
+
+let minor_words_during f =
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+let check_zero_alloc name words =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.0f minor words over %d ops (slack %.0f)" name words
+       iters slack)
+    true
+    (words <= slack)
+
+let test_event_queue () =
+  let q : int O2_runtime.Event_queue.t = O2_runtime.Event_queue.create () in
+  (* preload to final depth so the arrays never grow inside the probe *)
+  for i = 1 to 1024 do
+    O2_runtime.Event_queue.push q ~time:i i
+  done;
+  let words =
+    minor_words_during (fun () ->
+        for i = 1025 to 1024 + iters do
+          ignore (O2_runtime.Event_queue.min_time q);
+          ignore (O2_runtime.Event_queue.pop_min q);
+          O2_runtime.Event_queue.push q ~time:i i
+        done)
+  in
+  check_zero_alloc "event_queue push+min_time+pop_min" words
+
+let test_machine_read_l1_hit () =
+  let machine = Machine.create Config.amd16 in
+  let ext = Memsys.alloc (Machine.memory machine) ~name:"probe" ~size:64 in
+  let addr = ext.Memsys.base in
+  ignore (Machine.read machine ~core:0 ~now:0 ~addr ~len:8);
+  let words =
+    minor_words_during (fun () ->
+        for i = 1 to iters do
+          ignore (Machine.read machine ~core:0 ~now:i ~addr ~len:8)
+        done)
+  in
+  check_zero_alloc "Machine.read L1 hit" words
+
+let test_machine_write_l1_hit () =
+  let machine = Machine.create Config.amd16 in
+  let ext = Memsys.alloc (Machine.memory machine) ~name:"probe" ~size:64 in
+  let addr = ext.Memsys.base in
+  ignore (Machine.write machine ~core:0 ~now:0 ~addr ~len:8);
+  let words =
+    minor_words_during (fun () ->
+        for i = 1 to iters do
+          ignore (Machine.write machine ~core:0 ~now:i ~addr ~len:8)
+        done)
+  in
+  check_zero_alloc "Machine.write L1 hit" words
+
+(* The directory-scan kernel shared by Fat_dir.find and Fat_dir.lookup_sim
+   (lookup_sim adds only Api.read/compute charges on top of the same
+   scan_cluster walk). A missing name scans every entry of every cluster
+   through the in-place 8.3 comparison and must not allocate. *)
+let test_fat_scan_miss () =
+  let machine = Machine.create Config.amd16 in
+  let mem = Machine.memory machine in
+  let fs = O2_fs.Fat.format mem ~label:"probe" ~clusters:128 () in
+  let dir =
+    match O2_fs.Fat.mkdir fs "d0" with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "mkdir: %s" e
+  in
+  (match O2_fs.Fat.populate fs dir ~prefix:"f" ~count:100 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "populate: %s" e);
+  let img = O2_fs.Fat.image fs in
+  let head = dir.O2_fs.Fat.head in
+  let name83 = O2_fs.Fat_name.to_83_exn "nope.dat" in
+  Alcotest.(check bool) "name really absent" true
+    (O2_fs.Fat_dir.find img ~head ~name83 = None);
+  let words =
+    minor_words_during (fun () ->
+        for _ = 1 to iters do
+          ignore (O2_fs.Fat_dir.find img ~head ~name83)
+        done)
+  in
+  check_zero_alloc "Fat_dir.find miss (100-entry dir)" words
+
+let suite =
+  [
+    Alcotest.test_case "event queue allocates nothing per event" `Quick
+      test_event_queue;
+    Alcotest.test_case "Machine.read L1 hit allocates nothing" `Quick
+      test_machine_read_l1_hit;
+    Alcotest.test_case "Machine.write L1 hit allocates nothing" `Quick
+      test_machine_write_l1_hit;
+    Alcotest.test_case "FAT directory scan allocates nothing on a miss"
+      `Quick test_fat_scan_miss;
+  ]

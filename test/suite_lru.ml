@@ -68,6 +68,34 @@ let test_capacity_one () =
   check intopt "evict" (Some 1) (Lru.add t 2);
   check Alcotest.bool "only 2" true (Lru.mem t 2 && not (Lru.mem t 1))
 
+(* cap=1 is the edge where the free-list terminator (index cap-1 = 0) and
+   the list sentinel (index cap = 1) are adjacent; exercise every
+   operation at that size and re-check the structural invariants. *)
+let test_capacity_one_full_cycle () =
+  let t = Lru.create ~cap:1 in
+  let ok () =
+    match Lru.check_invariants t with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "invariants: %s" e
+  in
+  check Alcotest.int "no victim on first fill" (-1) (Lru.add_evict t 5);
+  ok ();
+  check Alcotest.bool "touch present" true (Lru.touch t 5);
+  check intopt "re-add present just touches" None (Lru.add t 5);
+  check Alcotest.int "still one key" 1 (Lru.length t);
+  check Alcotest.int "full set evicts its only key" 5 (Lru.add_evict t 6);
+  ok ();
+  check intopt "lru is the sole key" (Some 6) (Lru.lru_key t);
+  check Alcotest.bool "remove" true (Lru.remove t 6);
+  ok ();
+  check Alcotest.int "empty after remove" 0 (Lru.length t);
+  check Alcotest.int "slot reusable after remove" (-1) (Lru.add_evict t 7);
+  Lru.clear t;
+  ok ();
+  check Alcotest.int "re-add after clear" (-1) (Lru.add_evict t 8);
+  check Alcotest.bool "holds the new key" true (Lru.mem t 8);
+  ok ()
+
 (* Reference model: MRU-first list. *)
 module Model = struct
   type t = { cap : int; mutable l : int list }
@@ -147,5 +175,7 @@ let suite =
     Alcotest.test_case "recency order" `Quick test_order;
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "capacity one" `Quick test_capacity_one;
+    Alcotest.test_case "capacity one: full operation cycle" `Quick
+      test_capacity_one_full_cycle;
     QCheck_alcotest.to_alcotest prop_matches_model;
   ]

@@ -34,36 +34,42 @@ let test_place_one_first_fit () =
   let used = [| 900; 100; 0 |] in
   Alcotest.(check (option int)) "lowest core with space" (Some 1)
     (Cache_packing.place_one ~placement:Policy.First_fit ~budget:1000 ~used
-       ~bytes:500)
+       ~bytes:500 ())
 
 let test_place_one_least_loaded () =
   let used = [| 900; 100; 0 |] in
   Alcotest.(check (option int)) "emptiest" (Some 2)
     (Cache_packing.place_one ~placement:Policy.Least_loaded ~budget:1000 ~used
-       ~bytes:500);
+       ~bytes:500 ());
   Alcotest.(check (option int)) "ties break to lowest id" (Some 0)
     (Cache_packing.place_one ~placement:Policy.Least_loaded ~budget:1000
-       ~used:[| 5; 5 |] ~bytes:1)
+       ~used:[| 5; 5 |] ~bytes:1 ())
 
 let test_place_one_none_when_full () =
   let used = [| 999; 999 |] in
   List.iter
     (fun placement ->
       Alcotest.(check (option int)) "no space" None
-        (Cache_packing.place_one ~placement ~budget:1000 ~used ~bytes:5))
+        (Cache_packing.place_one ~placement ~budget:1000 ~used ~bytes:5 ()))
     [ Policy.First_fit; Policy.Least_loaded; Policy.Random_fit 7 ]
 
 let test_place_one_random_feasible () =
   let used = [| 999; 0; 999; 0 |] in
-  for _ = 1 to 50 do
+  for nonce = 1 to 50 do
     match
-      Cache_packing.place_one ~placement:(Policy.Random_fit 11) ~budget:1000
-        ~used ~bytes:500
+      Cache_packing.place_one ~nonce ~placement:(Policy.Random_fit 11)
+        ~budget:1000 ~used ~bytes:500 ()
     with
     | Some c when c = 1 || c = 3 -> ()
     | Some c -> Alcotest.failf "placed on full core %d" c
     | None -> Alcotest.fail "should fit"
-  done
+  done;
+  (* stateless: the same (seed, nonce) always lands on the same core *)
+  let place nonce =
+    Cache_packing.place_one ~nonce ~placement:(Policy.Random_fit 11)
+      ~budget:1000 ~used ~bytes:500 ()
+  in
+  Alcotest.(check (option int)) "pure in (seed, nonce)" (place 7) (place 7)
 
 let prop_never_over_budget =
   QCheck2.Test.make ~name:"pack never exceeds any core's budget" ~count:300
