@@ -147,6 +147,36 @@ let test_domain_pool =
            (O2_runtime.Domain_pool.run (Lazy.force pool) (fun x -> x + 1)
               inputs)))
 
+(* Cost of the flight-recorder probe on the simulator hot path. With no
+   subscriber the producer-side guard (Probe.active) short-circuits before
+   the event is even constructed — this row should sit at ~1 ns. The twin
+   row attaches a full Recorder, so it pays event construction plus the
+   listener (ring push + metrics update). *)
+let probe_mem_event i =
+  O2_runtime.Probe.Mem
+    { time = i; core = 0; tid = 0; kind = O2_runtime.Probe.Load; addr = 0; len = 8 }
+
+let test_probe_inactive =
+  let probe = O2_runtime.Probe.create () in
+  let i = ref 0 in
+  Test.make ~name:"probe/emit guarded, no recorder"
+    (Staged.stage (fun () ->
+         incr i;
+         if O2_runtime.Probe.active probe then
+           O2_runtime.Probe.emit probe (probe_mem_event !i)))
+
+let test_probe_recorded =
+  let machine = O2_simcore.Machine.create O2_simcore.Config.amd16 in
+  let engine = O2_runtime.Engine.create machine in
+  let _recorder = O2_obs.Recorder.attach engine in
+  let probe = O2_runtime.Engine.probe engine in
+  let i = ref 0 in
+  Test.make ~name:"probe/emit with recorder subscribed"
+    (Staged.stage (fun () ->
+         incr i;
+         if O2_runtime.Probe.active probe then
+           O2_runtime.Probe.emit probe (probe_mem_event !i)))
+
 let bechamel_tests =
   [
     test_packing 256;
@@ -159,6 +189,8 @@ let bechamel_tests =
     test_lookup;
     test_event_queue;
     test_domain_pool;
+    test_probe_inactive;
+    test_probe_recorded;
     test_fig4a_cell_with;
     test_fig4a_cell_without;
     test_fig4b_cell;

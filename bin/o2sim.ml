@@ -49,13 +49,44 @@ let out_arg =
   let doc = "Also write the report to this file." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
+let metrics_arg =
+  let doc =
+    "Attach the flight recorder's metrics registry and print latency \
+     histograms / counters (quickstart, figures, and the ablations that \
+     support per-cell metric columns)."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Record the run with the flight recorder and write Chrome/Perfetto \
+     trace_event JSON to $(docv) (load it at https://ui.perfetto.dev). On \
+     figure sweeps the trace covers one representative 8 MB cell."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_sample_arg =
+  let doc =
+    "Keep 1-in-$(docv) memory-access events in the trace ring (1 = all, \
+     0 = none). Operation spans, migrations, and monitor periods are \
+     always kept."
+  in
+  Arg.(value & opt int 1 & info [ "trace-sample" ] ~docv:"N" ~doc)
+
 let run_cmd =
   let doc = "Run experiments and print paper-shaped tables and figures." in
-  let run quick all jobs out ids =
+  let run quick all jobs out metrics trace trace_sample ids =
     if jobs < 1 then begin
       prerr_endline "o2sim: --jobs must be at least 1";
       exit 1
     end;
+    if trace_sample < 0 then begin
+      prerr_endline "o2sim: --trace-sample must be >= 0";
+      exit 1
+    end;
+    let obs =
+      { O2_experiments.Harness.metrics; trace; trace_sample }
+    in
     let ids = if all then O2_experiments.Registry.ids () else ids in
     let finish ppf result =
       Format.pp_print_flush ppf ();
@@ -68,8 +99,8 @@ let run_cmd =
     match out with
     | None ->
         finish Format.std_formatter
-          (O2_experiments.Registry.run_ids ~quick ~jobs Format.std_formatter
-             ids)
+          (O2_experiments.Registry.run_ids ~obs ~quick ~jobs
+             Format.std_formatter ids)
     | Some path ->
         let oc = open_out path in
         Fun.protect
@@ -77,7 +108,9 @@ let run_cmd =
           (fun () ->
             let buf = Buffer.create 4096 in
             let ppf = Format.formatter_of_buffer buf in
-            let result = O2_experiments.Registry.run_ids ~quick ~jobs ppf ids in
+            let result =
+              O2_experiments.Registry.run_ids ~obs ~quick ~jobs ppf ids
+            in
             Format.pp_print_flush ppf ();
             output_string oc (Buffer.contents buf);
             print_string (Buffer.contents buf);
@@ -85,7 +118,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(const run $ quick_arg $ all_arg $ jobs_arg $ out_arg $ ids_arg)
+    Term.(
+      const run $ quick_arg $ all_arg $ jobs_arg $ out_arg $ metrics_arg
+      $ trace_arg $ trace_sample_arg $ ids_arg)
 
 let machine_cmd =
   let doc = "Describe the simulated machines." in

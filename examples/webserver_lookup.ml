@@ -4,14 +4,27 @@
    random names in an in-memory FAT volume; we run the same binary with
    and without CoreTime and report resolutions per second.
 
+   The CoreTime run carries an O2 flight recorder: it prints the o2top
+   latency/counter table and writes a Chrome trace_event JSON next to the
+   working directory, loadable at https://ui.perfetto.dev.
+
      dune exec examples/webserver_lookup.exe [-- data_kb] *)
 
 open O2_simcore
 open O2_workload
 
-let run ~label ~policy ~kb =
+let trace_path = "webserver_lookup.trace.json"
+
+let run ?(record = false) ~label ~policy ~kb () =
   let machine = Machine.create Config.amd16 in
   let engine = O2_runtime.Engine.create machine in
+  let recorder =
+    (* Mem events are sampled out (sample_mem:0) so the flight ring keeps
+       operation spans, migrations and monitor periods instead of being
+       flooded by per-access records. *)
+    if record then Some (O2_obs.Recorder.attach ~sample_mem:0 engine)
+    else None
+  in
   let ct = Coretime.create ~policy engine () in
   let spec = Dir_workload.spec_for_data_kb ~kb () in
   let w = Dir_workload.build ct spec in
@@ -28,12 +41,31 @@ let run ~label ~policy ~kb =
     label
     (resolutions_per_sec /. 1000.)
     spec.Dir_workload.dirs ops;
+  (match recorder with
+  | None -> ()
+  | Some r ->
+      Printf.printf "\n-- o2top (%s) --\n%s%!" label
+        (O2_obs.O2top.render (O2_obs.Recorder.metrics r));
+      O2_obs.Trace_export.write_file r ~path:trace_path;
+      Printf.printf
+        "trace: %d spans, %d events retained, %d dropped -> %s (open in \
+         https://ui.perfetto.dev)\n\n\
+         %!"
+        (O2_obs.Recorder.span_count r)
+        (O2_obs.Recorder.events_retained r)
+        (O2_obs.Recorder.events_dropped r)
+        trace_path);
   resolutions_per_sec
 
 let () =
   let kb = try int_of_string Sys.argv.(1) with _ -> 8192 in
   Printf.printf "web-server directory workload: %d KB of directory data\n" kb;
   Printf.printf "(per-chip L3 holds 2 MB; total on-chip memory is 16 MB)\n\n";
-  let without_ct = run ~label:"without CoreTime" ~policy:Coretime.Policy.baseline ~kb in
-  let with_ct = run ~label:"with CoreTime" ~policy:Coretime.Policy.default ~kb in
+  let without_ct =
+    run ~label:"without CoreTime" ~policy:Coretime.Policy.baseline ~kb ()
+  in
+  let with_ct =
+    run ~record:true ~label:"with CoreTime" ~policy:Coretime.Policy.default
+      ~kb ()
+  in
   Printf.printf "\nCoreTime speedup: %.2fx\n" (with_ct /. without_ct)

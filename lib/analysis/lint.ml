@@ -111,18 +111,54 @@ let path_allows_raw path =
       path = allowed || Filename.check_suffix path ("/" ^ allowed))
     raw_primitive_allowlist
 
+(* lib/obs must only observe: its listeners run synchronously inside
+   Probe.emit, on the simulation's own stack, so performing an effect
+   through Api or driving the engine (spawn/run/at/every/finalize_idle)
+   from there would corrupt the run it is recording. Reading engine state
+   (Engine.probe, Engine.machine, Engine.now, ...) is fine. *)
+let obs_banned_tokens =
+  [
+    "Api.";
+    "Engine.spawn";
+    "Engine.run";
+    "Engine.at";
+    "Engine.every";
+    "Engine.finalize_idle";
+    "Probe.emit";
+  ]
+
+let path_is_obs path =
+  let norm = String.concat "/" (String.split_on_char '\\' path) in
+  let rec has_sub s sub i =
+    let n = String.length s and m = String.length sub in
+    i + m <= n && (String.sub s i m = sub || has_sub s sub (i + 1))
+  in
+  has_sub norm "lib/obs/" 0
+
 let scan_string ~path ?allow_raw_primitives contents =
   let allow_raw =
     match allow_raw_primitives with
     | Some b -> b
     | None -> path_allows_raw path
   in
+  let obs_purity = path_is_obs path in
   let diags = ref [] in
   let add d = diags := d :: !diags in
   let lines = String.split_on_char '\n' (strip contents) in
   List.iteri
     (fun i line ->
       let lineno = i + 1 in
+      if obs_purity then
+        List.iter
+          (fun tok ->
+            if contains_token line tok then
+              add
+                (mk ~path ~lineno ~code:"obs-effect"
+                   (Printf.sprintf
+                      "%s in lib/obs: observers must not perform effects or \
+                       drive the engine (they run inside Probe.emit)"
+                      tok)))
+          obs_banned_tokens;
       if contains_token line "Obj.magic" then
         add
           (mk ~path ~lineno ~code:"obj-magic"

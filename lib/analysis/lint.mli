@@ -16,7 +16,13 @@
       [ignore] suggests the author expected (and discarded) a result such
       as an acquisition status.
     - [missing-mli] — a [lib/] module without an interface file
-      ([*_intf.ml] module-type-only files are exempt). *)
+      ([*_intf.ml] module-type-only files are exempt).
+    - [obs-effect] — [lib/obs/] sources naming [Api.] or an
+      engine-driving call ([Engine.spawn]/[run]/[at]/[every]/
+      [finalize_idle]) or [Probe.emit]: observability listeners run
+      synchronously inside [Probe.emit] on the simulation's stack, so
+      they must read state only — an effect or a recursive emit there
+      would corrupt the run being recorded. *)
 
 val scan_string : path:string -> ?allow_raw_primitives:bool -> string ->
   Diagnostic.t list

@@ -132,7 +132,8 @@ let on_event t ev =
           Hashtbl.remove t.held tid
       | Some [] | None -> ())
   | Probe.Mem _ | Probe.Thread_spawned _ | Probe.Thread_moved _
-  | Probe.Op_started _ | Probe.Op_ended _ | Probe.Rebalanced _ ->
+  | Probe.Op_requested _ | Probe.Op_started _ | Probe.Op_ended _
+  | Probe.Rebalanced _ ->
       ()
 
 let finish _t = ()

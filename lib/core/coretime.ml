@@ -147,6 +147,13 @@ let maybe_promote t (o : Object_table.obj) =
 
 (* Publish operation boundaries so the analysis layer can check nesting
    discipline and home-core affinity (no-op without subscribers). *)
+let emit_op_requested t th ~addr =
+  let p = Engine.probe t.engine_ in
+  if Probe.active p then
+    Probe.emit p
+      (Probe.Op_requested
+         { time = Api.now (); core = th.Thread.core; tid = th.Thread.id; addr })
+
 let emit_op_started t th ~addr ~home =
   let p = Engine.probe t.engine_ in
   if Probe.active p then
@@ -170,6 +177,7 @@ let emit_op_ended t th =
 let ct_start t ?(write = false) addr =
   let th = Api.self () in
   let tid = th.Thread.id in
+  emit_op_requested t th ~addr;
   if not t.policy_.Policy.enabled then begin
     push_frame t tid
       {

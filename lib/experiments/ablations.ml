@@ -4,7 +4,28 @@ open O2_stats
 
 let kres p = p.Harness.kres_per_sec
 
-let migration_cost ~quick ~jobs ppf =
+(* Optional per-cell latency columns, shared by the ablations that accept
+   [--metrics] from the CLI. *)
+let lat_columns (obs : Harness.obs) =
+  if obs.Harness.metrics then
+    [ ("op p50 (cyc)", Table.Right); ("op p99 (cyc)", Table.Right) ]
+  else []
+
+let lat_cells (obs : Harness.obs) p =
+  if not obs.Harness.metrics then []
+  else
+    match p.Harness.metrics with
+    | Some m ->
+        let h = O2_obs.Metrics.hist m "op/latency" in
+        if O2_obs.Hist.count h = 0 then [ "-"; "-" ]
+        else
+          [
+            Printf.sprintf "%.0f" (O2_obs.Hist.p50 h);
+            Printf.sprintf "%.0f" (O2_obs.Hist.p99 h);
+          ]
+    | None -> [ "-"; "-" ]
+
+let migration_cost ?(obs = Harness.no_obs) ~quick ~jobs ppf =
   Format.fprintf ppf
     "@.=== E6: migration-cost sensitivity (8 MB working set) ===@.@.";
   let kb = 8192 in
@@ -25,11 +46,13 @@ let migration_cost ~quick ~jobs ppf =
         poll_interval = 0;
       }
     in
-    Harness.setup ~cfg ~warmup ~measure spec
+    Harness.setup ~cfg ~warmup ~measure
+      ~collect_metrics:obs.Harness.metrics spec
   in
   (* baseline rides along as cell 0 of the same batch *)
   let cells =
-    Harness.setup ~policy:Coretime.Policy.baseline ~warmup ~measure spec
+    Harness.setup ~policy:Coretime.Policy.baseline ~warmup ~measure
+      ~collect_metrics:obs.Harness.metrics spec
     :: List.map cost_cell costs
   in
   let baseline, points =
@@ -40,20 +63,22 @@ let migration_cost ~quick ~jobs ppf =
   let t =
     Table.create
       ~columns:
-        [
-          ("migration cost (cycles)", Table.Right);
-          ("CoreTime (kres/s)", Table.Right);
-          ("vs baseline", Table.Right);
-        ]
+        ([
+           ("migration cost (cycles)", Table.Right);
+           ("CoreTime (kres/s)", Table.Right);
+           ("vs baseline", Table.Right);
+         ]
+        @ lat_columns obs)
   in
   List.iter2
     (fun cost p ->
       Table.add_row t
-        [
-          string_of_int cost;
-          Printf.sprintf "%.0f" (kres p);
-          Printf.sprintf "%.2fx" (kres p /. kres baseline);
-        ])
+        ([
+           string_of_int cost;
+           Printf.sprintf "%.0f" (kres p);
+           Printf.sprintf "%.2fx" (kres p /. kres baseline);
+         ]
+        @ lat_cells obs p))
     costs points;
   Format.pp_print_string ppf (Table.render t);
   Format.fprintf ppf "baseline (no CoreTime): %.0f kres/s@." (kres baseline);
@@ -291,7 +316,7 @@ let clustering ~quick ~jobs ppf =
   Format.pp_print_string ppf (Table.render t);
   Format.fprintf ppf "co-access pairs tracked: %d@." pairs
 
-let rebalance ~quick ~jobs ppf =
+let rebalance ?(obs = Harness.no_obs) ~quick ~jobs ppf =
   Format.fprintf ppf
     "@.=== E11: packing pathology vs the runtime monitor (oscillating set, \
      8 MB) ===@.@.";
@@ -299,7 +324,10 @@ let rebalance ~quick ~jobs ppf =
   let warmup = Harness.scaled ~quick 60_000_000 in
   let measure = Harness.scaled ~quick 80_000_000 in
   let oscillation = Figure4.oscillation_default in
-  let cell policy = Harness.setup ~policy ~warmup ~measure ~oscillation spec in
+  let cell policy =
+    Harness.setup ~policy ~warmup ~measure ~oscillation
+      ~collect_metrics:obs.Harness.metrics spec
+  in
   let off, on, baseline =
     match
       Harness.run_cells ~jobs
@@ -315,22 +343,24 @@ let rebalance ~quick ~jobs ppf =
   let t =
     Table.create
       ~columns:
-        [
-          ("configuration", Table.Left);
-          ("kres/s", Table.Right);
-          ("moves", Table.Right);
-          ("demotions", Table.Right);
-        ]
+        ([
+           ("configuration", Table.Left);
+           ("kres/s", Table.Right);
+           ("moves", Table.Right);
+           ("demotions", Table.Right);
+         ]
+        @ lat_columns obs)
   in
   List.iter
     (fun (name, p) ->
       Table.add_row t
-        [
-          name;
-          Printf.sprintf "%.0f" (kres p);
-          string_of_int p.Harness.rebalancer_moves;
-          string_of_int p.Harness.rebalancer_demotions;
-        ])
+        ([
+           name;
+           Printf.sprintf "%.0f" (kres p);
+           string_of_int p.Harness.rebalancer_moves;
+           string_of_int p.Harness.rebalancer_demotions;
+         ]
+        @ lat_cells obs p))
     [
       ("without CoreTime", baseline);
       ("CoreTime, monitor off", off);

@@ -7,10 +7,12 @@
     {!O2_runtime.Domain_pool} with [jobs] workers; [jobs = 1] is plain
     sequential execution and results are identical whatever [jobs] is. *)
 
-val migration_cost : quick:bool -> jobs:int -> Format.formatter -> unit
+val migration_cost :
+  ?obs:Harness.obs -> quick:bool -> jobs:int -> Format.formatter -> unit
 (** E6 — Section 6.1: sweep the end-to-end migration cost (active messages
     would lower it; slower interconnects raise it) at a fixed 8 MB working
-    set and report CoreTime throughput against the baseline. *)
+    set and report CoreTime throughput against the baseline.
+    [obs.metrics] appends per-cell op-latency percentile columns. *)
 
 val replication : quick:bool -> jobs:int -> Format.formatter -> unit
 (** E7 — Section 6.2: replicate hot read-only objects vs schedule them.
@@ -26,10 +28,12 @@ val clustering : quick:bool -> jobs:int -> Format.formatter -> unit
 (** E9 — Section 6.2: operations that use two objects; clustering
     co-locates the pair and halves migrations. *)
 
-val rebalance : quick:bool -> jobs:int -> Format.formatter -> unit
+val rebalance :
+  ?obs:Harness.obs -> quick:bool -> jobs:int -> Format.formatter -> unit
 (** E11 — Section 4: first-fit packing piles the oscillating workload's
     shrunken active set onto few cores; the runtime monitor repairs it.
-    Compares rebalancing on vs off. *)
+    Compares rebalancing on vs off. [obs.metrics] appends per-cell
+    op-latency percentile columns. *)
 
 val thread_clustering : quick:bool -> jobs:int -> Format.formatter -> unit
 (** E12 — Section 2/7: thread clustering cannot help when every thread

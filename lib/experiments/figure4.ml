@@ -10,7 +10,8 @@ type row = {
 
 let oscillation_default = { Harness.period = 10_000_000; divisor = 16 }
 
-let sweep ?(progress = fun _ -> ()) ?(jobs = 1) ~quick ~oscillation () =
+let sweep ?(progress = fun _ -> ()) ?(jobs = 1) ?(metrics = false) ~quick
+    ~oscillation () =
   (* oscillating runs measure longer so whole phase cycles average out *)
   let horizon_scale = match oscillation with None -> 2 | Some _ -> 3 in
   let cell policy kb =
@@ -20,7 +21,7 @@ let sweep ?(progress = fun _ -> ()) ?(jobs = 1) ~quick ~oscillation () =
     let warmup = Harness.scaled ~quick (40_000_000 + (kb * 2500)) in
     Harness.setup ~policy ~warmup
       ~measure:(Harness.scaled ~quick (20_000_000 * horizon_scale))
-      ?oscillation spec
+      ?oscillation ~collect_metrics:metrics spec
   in
   let ladder = Harness.kb_ladder ~quick in
   progress
@@ -55,20 +56,29 @@ let to_series rows =
 
 let print_rows ppf rows =
   let open O2_stats in
+  (* When cells carried a metrics recorder, append the measured-window
+     operation-latency percentiles (cycles, with-CoreTime cell). *)
+  let with_lat =
+    List.exists (fun r -> r.with_ct.Harness.metrics <> None) rows
+  in
   let t =
     Table.create
       ~columns:
-        [
-          ("data (KB)", Table.Right);
-          ("dirs", Table.Right);
-          ("without CT (kres/s)", Table.Right);
-          ("with CT (kres/s)", Table.Right);
-          ("speedup", Table.Right);
-          ("dram w/o", Table.Right);
-          ("dram w/", Table.Right);
-          ("migrations", Table.Right);
-          ("moves", Table.Right);
-        ]
+        ([
+           ("data (KB)", Table.Right);
+           ("dirs", Table.Right);
+           ("without CT (kres/s)", Table.Right);
+           ("with CT (kres/s)", Table.Right);
+           ("speedup", Table.Right);
+           ("dram w/o", Table.Right);
+           ("dram w/", Table.Right);
+           ("migrations", Table.Right);
+           ("moves", Table.Right);
+         ]
+        @
+        if with_lat then
+          [ ("op p50 (cyc)", Table.Right); ("op p99 (cyc)", Table.Right) ]
+        else [])
   in
   List.iter
     (fun r ->
@@ -77,18 +87,33 @@ let print_rows ppf rows =
           r.with_ct.Harness.kres_per_sec /. r.without_ct.Harness.kres_per_sec
         else nan
       in
+      let lat_cells =
+        if not with_lat then []
+        else
+          match r.with_ct.Harness.metrics with
+          | Some m ->
+              let h = O2_obs.Metrics.hist m "op/latency" in
+              if O2_obs.Hist.count h = 0 then [ "-"; "-" ]
+              else
+                [
+                  Printf.sprintf "%.0f" (O2_obs.Hist.p50 h);
+                  Printf.sprintf "%.0f" (O2_obs.Hist.p99 h);
+                ]
+          | None -> [ "-"; "-" ]
+      in
       Table.add_row t
-        [
-          string_of_int r.kb;
-          string_of_int r.dirs;
-          Printf.sprintf "%.0f" r.without_ct.Harness.kres_per_sec;
-          Printf.sprintf "%.0f" r.with_ct.Harness.kres_per_sec;
-          Printf.sprintf "%.2fx" sp;
-          string_of_int r.without_ct.Harness.dram_loads;
-          string_of_int r.with_ct.Harness.dram_loads;
-          string_of_int r.with_ct.Harness.op_migrations;
-          string_of_int r.with_ct.Harness.rebalancer_moves;
-        ])
+        ([
+           string_of_int r.kb;
+           string_of_int r.dirs;
+           Printf.sprintf "%.0f" r.without_ct.Harness.kres_per_sec;
+           Printf.sprintf "%.0f" r.with_ct.Harness.kres_per_sec;
+           Printf.sprintf "%.2fx" sp;
+           string_of_int r.without_ct.Harness.dram_loads;
+           string_of_int r.with_ct.Harness.dram_loads;
+           string_of_int r.with_ct.Harness.op_migrations;
+           string_of_int r.with_ct.Harness.rebalancer_moves;
+         ]
+        @ lat_cells))
     rows;
   Format.pp_print_string ppf (Table.render t)
 
@@ -109,21 +134,63 @@ let print_figure ppf ~title rows =
 let progress_to_stderr line =
   prerr_endline line
 
-let fig4a ?(quick = false) ?(jobs = 1) ppf =
-  let rows =
-    sweep ~progress:progress_to_stderr ~jobs ~quick ~oscillation:None ()
+(* [--trace] on a figure re-runs one representative beyond-L3 cell (8 MB,
+   CoreTime on) with a flight recorder attached for the whole run and
+   writes the Perfetto JSON. Tracing a single short cell rather than the
+   sweep keeps the file loadable and the sweep itself recorder-free. *)
+let write_trace ~quick ~oscillation ~sample ~path ppf =
+  let kb = 8192 in
+  let spec = Dir_workload.spec_for_data_kb ~kb () in
+  (* Short horizon: enough for promotion, migrations, and several monitor
+     periods; oscillation (if any) is compressed to fit the window. *)
+  let oscillation =
+    Option.map
+      (fun o -> { o with Harness.period = Harness.scaled ~quick o.Harness.period })
+      oscillation
   in
-  print_figure ppf
-    ~title:
-      "Figure 4(a): file system results, uniform directory popularity"
-    rows
+  let s =
+    Harness.setup
+      ~warmup:(Harness.scaled ~quick 8_000_000)
+      ~measure:(Harness.scaled ~quick 8_000_000)
+      ?oscillation spec
+  in
+  let recorder = ref None in
+  ignore
+    (Harness.run
+       ~attach:(fun engine ->
+         recorder := Some (O2_obs.Recorder.attach ~sample_mem:sample engine))
+       s);
+  match !recorder with
+  | None -> ()
+  | Some r ->
+      O2_obs.Trace_export.write_file r ~path;
+      Format.fprintf ppf
+        "trace: one %d KB CoreTime cell written to %s (%d spans, %d events \
+         retained, %d dropped) — load in https://ui.perfetto.dev@."
+        kb path (O2_obs.Recorder.span_count r)
+        (O2_obs.Recorder.events_retained r)
+        (O2_obs.Recorder.events_dropped r)
 
-let fig4b ?(quick = false) ?(jobs = 1) ppf =
+let figure ~title ~oscillation ?(quick = false) ?(jobs = 1)
+    ?(obs = Harness.no_obs) ppf =
   let rows =
-    sweep ~progress:progress_to_stderr ~jobs ~quick
-      ~oscillation:(Some oscillation_default) ()
+    sweep ~progress:progress_to_stderr ~jobs ~quick ~metrics:obs.Harness.metrics
+      ~oscillation ()
   in
-  print_figure ppf
+  print_figure ppf ~title rows;
+  match obs.Harness.trace with
+  | Some path ->
+      write_trace ~quick ~oscillation ~sample:obs.Harness.trace_sample ~path
+        ppf
+  | None -> ()
+
+let fig4a ?quick ?jobs ?obs ppf =
+  figure
+    ~title:"Figure 4(a): file system results, uniform directory popularity"
+    ~oscillation:None ?quick ?jobs ?obs ppf
+
+let fig4b ?quick ?jobs ?obs ppf =
+  figure
     ~title:
       "Figure 4(b): file system results, oscillating directory popularity"
-    rows
+    ~oscillation:(Some oscillation_default) ?quick ?jobs ?obs ppf

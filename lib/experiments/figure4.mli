@@ -16,10 +16,14 @@ type row = {
 val sweep :
   ?progress:(string -> unit) ->
   ?jobs:int ->
+  ?metrics:bool ->
   quick:bool ->
   oscillation:Harness.oscillation option ->
   unit ->
   row list
+(** [metrics] (default false) attaches a measured-window metrics recorder
+    to every cell; {!print_rows} then appends op-latency percentile
+    columns. *)
 
 val to_series : row list -> O2_stats.Series.t * O2_stats.Series.t
 (** (with CoreTime, without CoreTime). *)
@@ -28,10 +32,15 @@ val print_rows : Format.formatter -> row list -> unit
 val print_figure : Format.formatter -> title:string -> row list -> unit
 (** Table + ASCII rendering of the figure + the Section 5 shape claims. *)
 
-val fig4a : ?quick:bool -> ?jobs:int -> Format.formatter -> unit
-val fig4b : ?quick:bool -> ?jobs:int -> Format.formatter -> unit
+val fig4a :
+  ?quick:bool -> ?jobs:int -> ?obs:Harness.obs -> Format.formatter -> unit
+
+val fig4b :
+  ?quick:bool -> ?jobs:int -> ?obs:Harness.obs -> Format.formatter -> unit
 (** [jobs] (default 1) dispatches the sweep's independent cells through a
     {!O2_runtime.Domain_pool} of that many workers; the rows are
-    bit-identical whatever [jobs] is. *)
+    bit-identical whatever [jobs] is. [obs.metrics] adds per-cell latency
+    columns; [obs.trace] re-runs one representative 8 MB cell with a
+    flight recorder and writes its Perfetto JSON there. *)
 
 val oscillation_default : Harness.oscillation

@@ -3,6 +3,10 @@ open O2_workload
 
 type oscillation = { period : int; divisor : int }
 
+type obs = { metrics : bool; trace : string option; trace_sample : int }
+
+let no_obs = { metrics = false; trace = None; trace_sample = 1 }
+
 type point = {
   data_kb : int;
   kres_per_sec : float;
@@ -15,6 +19,7 @@ type point = {
   remote_hits : int;
   spin_cycles : int;
   avg_busy : float;
+  metrics : O2_obs.Metrics.t option;
 }
 
 type setup = {
@@ -26,11 +31,12 @@ type setup = {
   oscillation : oscillation option;
   threads_per_core : int;
   placement : int array option;
+  collect_metrics : bool;
 }
 
 let setup ?(cfg = Config.amd16) ?(policy = Coretime.Policy.default)
     ?(warmup = 40_000_000) ?(measure = 40_000_000) ?oscillation
-    ?(threads_per_core = 1) ?placement spec =
+    ?(threads_per_core = 1) ?placement ?(collect_metrics = false) spec =
   {
     cfg;
     policy;
@@ -40,15 +46,17 @@ let setup ?(cfg = Config.amd16) ?(policy = Coretime.Policy.default)
     oscillation;
     threads_per_core;
     placement;
+    collect_metrics;
   }
 
 let sum_counters counters field =
   Array.fold_left (fun acc c -> acc + field c) 0 counters
 
-let run s =
+let run ?attach s =
   let machine = Machine.create s.cfg in
   let engine = O2_runtime.Engine.create machine in
   let ct = Coretime.create ~policy:s.policy engine () in
+  (match attach with Some f -> f engine | None -> ());
   let w = Dir_workload.build ct s.spec in
   (match s.placement with
   | Some placement -> Dir_workload.spawn_threads_placed w placement
@@ -69,6 +77,17 @@ let run s =
   let rb = Coretime.Rebalancer.stats (Coretime.rebalancer ct) in
   let rb_snap_moves = rb.Coretime.Rebalancer.moves in
   let rb_snap_demotions = rb.Coretime.Rebalancer.demotions in
+  (* Metrics cover only the measured window: subscribe after warmup.
+     Histogram/counter mode only — no event ring, no span storage — so the
+     per-cell memory cost is a few registry entries. The recorder observes
+     without mutating simulator state, so points stay bit-identical. *)
+  let recorder =
+    if s.collect_metrics then
+      Some
+        (O2_obs.Recorder.attach ~ring_capacity:0 ~span_capacity:0 ~sample_mem:0
+           engine)
+    else None
+  in
   O2_runtime.Engine.run ~until:(s.warmup + s.measure) engine;
   O2_runtime.Engine.finalize_idle engine;
   let delta =
@@ -98,6 +117,7 @@ let run s =
     remote_hits = sum_counters delta (fun c -> c.Counters.remote_hits);
     spin_cycles = sum_counters delta (fun c -> c.Counters.spin_cycles);
     avg_busy = busy_sum /. float_of_int (Config.cores s.cfg);
+    metrics = Option.map O2_obs.Recorder.metrics recorder;
   }
 
 (* [run] builds everything fresh — machine, engine, coretime, workload —
@@ -105,7 +125,8 @@ let run s =
    separate domains; results come back in input order and are bit-identical
    to a sequential run (each cell's RNG seeding depends only on its own
    spec). *)
-let run_cells ~jobs setups = O2_runtime.Domain_pool.map ~jobs run setups
+let run_cells ~jobs setups =
+  O2_runtime.Domain_pool.map ~jobs (fun s -> run s) setups
 
 let scaled ~quick cycles = if quick then cycles / 4 else cycles
 

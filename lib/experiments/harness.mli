@@ -6,6 +6,17 @@ type oscillation = { period : int; divisor : int }
 (** Flip the active directory set between full and [full / divisor] every
     [period] cycles (Figure 4(b)). *)
 
+type obs = {
+  metrics : bool;  (** Collect/print latency histograms and counters. *)
+  trace : string option;  (** Write a Perfetto trace_event JSON here. *)
+  trace_sample : int;  (** Keep 1-in-N [Mem] events in the trace ring. *)
+}
+(** Observability options threaded from the [o2sim] command line into the
+    experiments ({!Registry.run_ids}). *)
+
+val no_obs : obs
+(** Everything off: no recorder is attached, probes stay inactive. *)
+
 type point = {
   data_kb : int;  (** Total directory-content size (x-axis). *)
   kres_per_sec : float;  (** Steady-state resolutions/s, in thousands. *)
@@ -18,6 +29,10 @@ type point = {
   remote_hits : int;
   spin_cycles : int;
   avg_busy : float;  (** Mean per-core busy(+spin) ratio in the window. *)
+  metrics : O2_obs.Metrics.t option;
+      (** Measured-window latency histograms and counters, when the cell
+          asked for them ([collect_metrics]). [None] otherwise, so points
+          from plain sweeps still compare structurally. *)
 }
 
 type setup = {
@@ -30,6 +45,9 @@ type setup = {
   threads_per_core : int;
   placement : int array option;
       (** Explicit thread placement (defaults to one worker per core). *)
+  collect_metrics : bool;
+      (** Attach a metrics-only {!O2_obs.Recorder} for the measured
+          window and return its registry in [point.metrics]. *)
 }
 
 val setup :
@@ -40,15 +58,22 @@ val setup :
   ?oscillation:oscillation ->
   ?threads_per_core:int ->
   ?placement:int array ->
+  ?collect_metrics:bool ->
   O2_workload.Dir_workload.spec ->
   setup
 (** Defaults: {!O2_simcore.Config.amd16}, {!Coretime.Policy.default},
-    40 M cycles warmup, 40 M measured, no oscillation, 1 thread/core. *)
+    40 M cycles warmup, 40 M measured, no oscillation, 1 thread/core,
+    no metrics. *)
 
-val run : setup -> point
+val run : ?attach:(O2_runtime.Engine.t -> unit) -> setup -> point
 (** Build everything, warm up, measure, and tear down. Deterministic in
     the spec's seed. Pure per cell: no state shared with other [run]s, so
-    cells may run on separate domains. *)
+    cells may run on separate domains.
+
+    [attach] is called on the fresh engine before the workload is built —
+    the hook for subscribing an {!O2_obs.Recorder} that should see the
+    whole run (traces). Listeners must observe only; they run inline with
+    the simulation. *)
 
 val run_cells : jobs:int -> setup list -> point list
 (** Run independent cells through a domain pool of [jobs] workers

@@ -1,0 +1,104 @@
+(* The examples/quickstart workload as a catalogue experiment: a small,
+   bounded, deterministic run (every core does a fixed number of annotated
+   table scans) that the observability flags can exercise end to end —
+   `o2sim run quickstart --trace out.json --metrics` is the one-command
+   flight-recorder demo, and the golden trace-shape test drives the same
+   entry point. *)
+
+open O2_simcore
+open O2_runtime
+
+type result = {
+  ops : int;
+  promotions : int;
+  op_migrations : int;
+  horizon : int;  (** Virtual cycles until every worker finished. *)
+  recorder : O2_obs.Recorder.t option;
+}
+
+let iterations ~quick = if quick then 30 else 60
+
+(* Same shape as examples/quickstart.ml, but bounded: [iterations] scans
+   per core over four 64 KB tables, plus a lock-protected shared counter
+   so the trace shows hand-offs too. *)
+let execute ?recorder_of ~quick () =
+  let machine = Machine.create Config.amd16 in
+  let engine = Engine.create machine in
+  let ct = Coretime.create ~policy:Coretime.Policy.default engine () in
+  let recorder = Option.map (fun f -> f engine) recorder_of in
+  let mem = Machine.memory machine in
+  let table_size = 64 * 1024 in
+  let tables =
+    Array.init 4 (fun i ->
+        let ext =
+          Memsys.alloc mem ~name:(Printf.sprintf "table%d" i) ~size:table_size
+        in
+        ignore
+          (Coretime.register ct ~base:ext.Memsys.base ~size:table_size
+             ~name:ext.Memsys.name ());
+        ext.Memsys.base)
+  in
+  let counter = Memsys.alloc_isolated mem ~name:"ops-counter" ~size:8 in
+  let counter_lock = Spinlock.create mem ~name:"ops-counter-lock" in
+  let iters = iterations ~quick in
+  for core = 0 to Engine.cores engine - 1 do
+    let rng = O2_workload.Rng.create ~seed:(0xC0DE + core) in
+    ignore
+      (Engine.spawn engine ~core ~name:(Printf.sprintf "worker%d" core)
+         (fun () ->
+           for _ = 1 to iters do
+             let table = tables.(O2_workload.Rng.int rng ~bound:4) in
+             Coretime.ct_start ct table;
+             ignore (Api.read ~addr:table ~len:table_size);
+             Api.compute 500;
+             Api.lock counter_lock;
+             ignore (Api.read ~addr:counter.Memsys.base ~len:8);
+             ignore (Api.write ~addr:counter.Memsys.base ~len:8);
+             Api.unlock counter_lock;
+             Coretime.ct_end ct
+           done))
+  done;
+  Engine.run engine;
+  let stats = Coretime.stats ct in
+  {
+    ops = stats.Coretime.ops;
+    promotions = stats.Coretime.promotions;
+    op_migrations = stats.Coretime.op_migrations;
+    horizon = Engine.now engine;
+    recorder;
+  }
+
+let run ~quick ~obs:(obs : Harness.obs) ppf =
+  Format.fprintf ppf
+    "@.=== quickstart: bounded table-scan workload (%d cores x %d ops) \
+     ===@.@."
+    (Config.cores Config.amd16) (iterations ~quick);
+  let want_recorder = obs.Harness.metrics || obs.Harness.trace <> None in
+  let recorder_of =
+    if want_recorder then
+      Some
+        (fun engine ->
+          O2_obs.Recorder.attach ~sample_mem:obs.Harness.trace_sample engine)
+    else None
+  in
+  let r = execute ?recorder_of ~quick () in
+  Format.fprintf ppf "operations completed : %d@." r.ops;
+  Format.fprintf ppf "objects promoted     : %d@." r.promotions;
+  Format.fprintf ppf "operation migrations : %d@." r.op_migrations;
+  Format.fprintf ppf "virtual horizon      : %d cycles@." r.horizon;
+  (match r.recorder with
+  | Some rec_ when obs.Harness.metrics ->
+      Format.fprintf ppf "@.%s"
+        (O2_obs.O2top.render (O2_obs.Recorder.metrics rec_))
+  | Some _ | None -> ());
+  match (r.recorder, obs.Harness.trace) with
+  | Some rec_, Some path ->
+      O2_obs.Trace_export.write_file rec_ ~path;
+      Format.fprintf ppf
+        "trace written to %s (%d spans, %d events retained, %d dropped) — \
+         load in https://ui.perfetto.dev@."
+        path
+        (O2_obs.Recorder.span_count rec_)
+        (O2_obs.Recorder.events_retained rec_)
+        (O2_obs.Recorder.events_dropped rec_)
+  | _ -> ()

@@ -1,0 +1,34 @@
+(** The examples/quickstart workload as a catalogue experiment: a bounded,
+    deterministic run (each of the 16 cores performs a fixed number of
+    annotated 64 KB table scans plus one lock-protected counter update) —
+    the demo target for the observability flags.
+
+    [o2sim run quickstart --trace out.json --metrics] records the whole
+    run with an {!O2_obs.Recorder}, writes the Perfetto trace, and prints
+    the o2top metrics table; the metrics [ops] counter equals the
+    CoreTime completed-operation count exactly. *)
+
+type result = {
+  ops : int;
+  promotions : int;
+  op_migrations : int;
+  horizon : int;  (** Virtual cycles until every worker finished. *)
+  recorder : O2_obs.Recorder.t option;
+}
+
+val iterations : quick:bool -> int
+(** Scans per core: 60, or 30 under [quick]. *)
+
+val execute :
+  ?recorder_of:(O2_runtime.Engine.t -> O2_obs.Recorder.t) ->
+  quick:bool ->
+  unit ->
+  result
+(** Build and run the workload to completion. [recorder_of] (called on
+    the fresh engine, before any thread is spawned) attaches the flight
+    recorder whose handle comes back in [result.recorder] — used by the
+    CLI and by the trace-shape tests. *)
+
+val run : quick:bool -> obs:Harness.obs -> Format.formatter -> unit
+(** Catalogue entry point: run, print the summary, and honour
+    [obs.metrics] / [obs.trace]. *)

@@ -7,7 +7,7 @@ type exp = {
   paper_ref : string;  (** Where in the paper this comes from. *)
   default_set : bool;  (** Run when no ids are given (the paper's own
                            figures and tables). *)
-  run : quick:bool -> jobs:int -> Format.formatter -> unit;
+  run : quick:bool -> jobs:int -> obs:Harness.obs -> Format.formatter -> unit;
 }
 
 val all : exp list
@@ -15,6 +15,7 @@ val find : string -> exp option
 val ids : unit -> string list
 
 val run_ids :
+  ?obs:Harness.obs ->
   quick:bool ->
   jobs:int ->
   Format.formatter ->
@@ -24,4 +25,7 @@ val run_ids :
     ids without running anything). An empty list runs the default set.
     [jobs] is the domain-pool width for experiments that parallelise
     their independent cells; [jobs = 1] runs everything sequentially with
-    bit-identical output. *)
+    bit-identical output. [obs] (default {!Harness.no_obs}) carries the
+    [--metrics] / [--trace] / [--trace-sample] flags to the experiments
+    that support them (quickstart, the figures, and some ablations);
+    the others ignore it. *)

@@ -1,0 +1,10 @@
+(** Plain-text rendering of a {!Metrics} registry — the [top]-style
+    readout printed by [o2sim --metrics] and the examples.
+
+    Three sections (each omitted when empty): latency histograms with
+    count/mean/p50/p90/p99/p999/max columns, counters, and — unless
+    [gauges:false] — the per-core gauges from the last monitor period.
+    Output is deterministic: rows are sorted by metric name. *)
+
+val render : ?gauges:bool -> Metrics.t -> string
+val print : ?gauges:bool -> Metrics.t -> unit

@@ -1,0 +1,92 @@
+(** The flight recorder: a probe listener that captures the event stream
+    into a bounded {!Ring}, reconstructs annotated-operation {e spans},
+    and keeps a {!Metrics} registry up to date — all without touching
+    simulator state (listeners observe; they never perform {!O2_runtime.Api}
+    effects).
+
+    Costs are paid only when attached: with no listener the engine's
+    probes are guarded out entirely (see {!O2_runtime.Probe.active}).
+
+    {2 Span reconstruction}
+
+    A span is one [Coretime.ct_start] .. [ct_end] region, stitched from
+    [Op_requested] (annotation entered), an optional [Thread_moved]
+    (operation migrated to the object's home), [Op_started] (running at
+    its final core) and [Op_ended]:
+
+    - [queue]: request → migration departure (or start when the operation
+      did not move) — annotation overhead plus time to leave the core;
+    - [migrate]: departure → start — wire transfer plus landing;
+    - [exec]: start → end — the operation body.
+
+    Nested operations form nested spans (per-thread stacks). Spans are
+    classified {!Home_hit} (object assigned, already on its home),
+    {!Migrated} (moved to reach the home) or {!Remote} (object unassigned,
+    served wherever the thread runs).
+
+    {2 Metrics maintained}
+
+    Counters: [ops], [migrations], [locks/acquired], [locks/handoffs],
+    [threads/spawned], [threads/finished], [mem/events], [mem/sampled],
+    [rebalance/periods], [rebalance/moves], [rebalance/demotions].
+    Histograms: [op/latency] plus the [op/home_hit]/[op/remote]/
+    [op/migrated] split (all request→end, in cycles) and the
+    [op/queue]/[op/migrate]/[op/exec] breakdown; [monitor/idle_pct],
+    [monitor/dram_loads], [monitor/l2_hits] sampled per core at each
+    monitor period. Gauges: per-core [coreNN/idle_frac], [coreNN/dram_loads],
+    [coreNN/l2_hits] for the most recent period. *)
+
+type span = {
+  tid : int;
+  addr : int;  (** The operation's object base ([ct_start]'s argument). *)
+  home : int option;  (** The object's home core at start, if assigned. *)
+  request_core : int;  (** Core where [ct_start] was entered. *)
+  exec_core : int;  (** Core where the operation ran and ended. *)
+  request_time : int;
+  start_time : int;
+  end_time : int;
+  queue : int;
+  migrate : int;
+  exec : int;
+  migrated : bool;
+}
+
+type op_class = Home_hit | Remote | Migrated
+
+val classify : span -> op_class
+
+type t
+
+val attach :
+  ?ring_capacity:int ->
+  ?span_capacity:int ->
+  ?sample_mem:int ->
+  O2_runtime.Engine.t ->
+  t
+(** Subscribe a recorder to the engine's probe. [ring_capacity] bounds the
+    retained event window (default 65536; 0 keeps no events — metrics
+    only). [span_capacity] bounds retained spans likewise. [sample_mem]
+    keeps 1-in-N [Mem] events (default 1 = all; 0 = none); all other event
+    kinds are always captured. The subscription lasts for the engine's
+    lifetime.
+    @raise Invalid_argument if [sample_mem] is negative. *)
+
+val metrics : t -> Metrics.t
+val machine : t -> O2_simcore.Machine.t
+
+val events : t -> O2_runtime.Probe.event list
+(** The retained window, oldest first. *)
+
+val events_retained : t -> int
+val events_total : t -> int
+
+val events_dropped : t -> int
+(** Events captured but then lost to the ring bound. [Mem] events skipped
+    by sampling are not captured at all; their count is
+    [mem/events - mem/sampled] in {!metrics}. *)
+
+val spans : t -> span list
+(** Completed spans in completion order. *)
+
+val span_count : t -> int
+val spans_dropped : t -> int

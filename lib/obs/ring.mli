@@ -1,0 +1,34 @@
+(** A bounded ring buffer that keeps the {e most recent} [capacity]
+    elements — flight-recorder semantics. Older elements are overwritten
+    silently at push time but accounted for: {!dropped} reports how many
+    were lost to the bound, so consumers can say "showing the last N of M
+    events" honestly.
+
+    A zero-capacity ring retains nothing (every push is dropped); the
+    recorder uses that for metrics-only operation. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument on a negative capacity. *)
+
+val push : 'a t -> 'a -> unit
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Elements currently retained. *)
+
+val total : 'a t -> int
+(** Elements ever pushed. *)
+
+val dropped : 'a t -> int
+(** [total - length]: elements overwritten (or never stored). *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** Oldest retained element first. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest retained element first. *)
+
+val clear : 'a t -> unit
+(** Also resets the {!total} / {!dropped} accounting. *)

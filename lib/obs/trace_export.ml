@@ -1,0 +1,195 @@
+open O2_simcore
+open O2_runtime
+
+(* ------------------------------------------------------------------ *)
+(* Chrome / Perfetto trace_event JSON                                  *)
+
+let escape_json s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* trace_event timestamps are microseconds; ours are cycles. *)
+let us_of_cycles ~ghz cycles = float_of_int cycles /. (ghz *. 1000.0)
+
+let object_name machine addr =
+  match Memsys.object_at (Machine.memory machine) ~addr with
+  | Some e -> e.Memsys.name
+  | None -> Printf.sprintf "op@0x%x" addr
+
+let class_name = function
+  | Recorder.Home_hit -> "home-hit"
+  | Recorder.Remote -> "remote"
+  | Recorder.Migrated -> "migrated"
+
+let to_buffer recorder buf =
+  let machine = Recorder.machine recorder in
+  let ghz = (Machine.cfg machine).Config.ghz in
+  let us = us_of_cycles ~ghz in
+  let first = ref true in
+  let event fmt =
+    Printf.ksprintf
+      (fun s ->
+        if !first then first := false else Buffer.add_string buf ",\n";
+        Buffer.add_string buf "    ";
+        Buffer.add_string buf s)
+      fmt
+  in
+  Buffer.add_string buf "{\n  \"traceEvents\": [\n";
+  (* Track metadata: one named track per core (pid 0 is the machine). *)
+  event
+    "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"args\": \
+     {\"name\": \"o2sim simulated machine\"}}";
+  for core = 0 to Config.cores (Machine.cfg machine) - 1 do
+    event
+      "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": %d, \
+       \"args\": {\"name\": \"core %d\"}}"
+      core core;
+    event
+      "{\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": 0, \"tid\": \
+       %d, \"args\": {\"sort_index\": %d}}"
+      core core
+  done;
+  (* Operation spans: complete events on the executing core's track. *)
+  List.iter
+    (fun (s : Recorder.span) ->
+      event
+        "{\"name\": \"%s\", \"cat\": \"op\", \"ph\": \"X\", \"pid\": 0, \
+         \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f, \"args\": {\"tid\": %d, \
+         \"class\": \"%s\", \"queue_cycles\": %d, \"migrate_cycles\": %d, \
+         \"exec_cycles\": %d%s}}"
+        (escape_json (object_name machine s.Recorder.addr))
+        s.Recorder.exec_core
+        (us s.Recorder.start_time)
+        (us (max s.Recorder.exec 0))
+        s.Recorder.tid
+        (class_name (Recorder.classify s))
+        s.Recorder.queue s.Recorder.migrate s.Recorder.exec
+        (match s.Recorder.home with
+        | Some h -> Printf.sprintf ", \"home\": %d" h
+        | None -> ""))
+    (Recorder.spans recorder);
+  (* Flow arrows for migrations and instant markers for monitor periods,
+     from the retained event window. *)
+  let flow_id = ref 0 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Probe.Thread_moved { time; tid; from_core; to_core } ->
+          incr flow_id;
+          event
+            "{\"name\": \"migrate t%d\", \"cat\": \"migration\", \"ph\": \
+             \"s\", \"id\": %d, \"pid\": 0, \"tid\": %d, \"ts\": %.3f}"
+            tid !flow_id from_core (us time);
+          event
+            "{\"name\": \"migrate t%d\", \"cat\": \"migration\", \"ph\": \
+             \"f\", \"bp\": \"e\", \"id\": %d, \"pid\": 0, \"tid\": %d, \
+             \"ts\": %.3f}"
+            tid !flow_id to_core (us time)
+      | Probe.Rebalanced { time; moves; demotions } ->
+          event
+            "{\"name\": \"rebalance\", \"cat\": \"monitor\", \"ph\": \"i\", \
+             \"s\": \"g\", \"pid\": 0, \"tid\": 0, \"ts\": %.3f, \"args\": \
+             {\"moves\": %d, \"demotions\": %d}}"
+            (us time) moves demotions
+      | _ -> ())
+    (Recorder.events recorder);
+  Buffer.add_string buf "\n  ],\n";
+  Printf.ksprintf (Buffer.add_string buf)
+    "  \"displayTimeUnit\": \"ms\",\n\
+    \  \"otherData\": {\"dropped_events\": %d, \"dropped_spans\": %d, \
+     \"ghz\": %.2f}\n"
+    (Recorder.events_dropped recorder)
+    (Recorder.spans_dropped recorder)
+    ghz;
+  Buffer.add_string buf "}\n"
+
+let to_string recorder =
+  let buf = Buffer.create 65536 in
+  to_buffer recorder buf;
+  Buffer.contents buf
+
+let write_file recorder ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string recorder))
+
+(* ------------------------------------------------------------------ *)
+(* ASCII timeline: a screenshot-equivalent for docs and terminals      *)
+
+let ascii_timeline ?(width = 72) recorder =
+  let spans = Recorder.spans recorder in
+  let events = Recorder.events recorder in
+  let machine = Recorder.machine recorder in
+  let cores = Config.cores (Machine.cfg machine) in
+  let lo, hi =
+    let bounds (lo, hi) t = (min lo t, max hi t) in
+    let acc =
+      List.fold_left
+        (fun acc (s : Recorder.span) ->
+          bounds (bounds acc s.Recorder.request_time) s.Recorder.end_time)
+        (max_int, min_int) spans
+    in
+    List.fold_left
+      (fun acc ev ->
+        match ev with
+        | Probe.Thread_moved { time; _ } | Probe.Rebalanced { time; _ } ->
+            bounds acc time
+        | _ -> acc)
+      acc events
+  in
+  if lo > hi then "(no events recorded)\n"
+  else begin
+    let span_cycles = max 1 (hi - lo) in
+    let col t = min (width - 1) ((t - lo) * width / span_cycles) in
+    let lanes = Array.init cores (fun _ -> Bytes.make width '.') in
+    let monitor = Bytes.make width '.' in
+    List.iter
+      (fun (s : Recorder.span) ->
+        let core = s.Recorder.exec_core in
+        if core >= 0 && core < cores then
+          for c = col s.Recorder.start_time to col s.Recorder.end_time do
+            Bytes.set lanes.(core) c '#'
+          done)
+      spans;
+    List.iter
+      (fun ev ->
+        match ev with
+        | Probe.Thread_moved { time; from_core; to_core; _ } ->
+            let c = col time in
+            if from_core >= 0 && from_core < cores then
+              Bytes.set lanes.(from_core) c '>';
+            if
+              to_core >= 0 && to_core < cores
+              && Bytes.get lanes.(to_core) c = '.'
+            then Bytes.set lanes.(to_core) c '<'
+        | Probe.Rebalanced { time; _ } -> Bytes.set monitor (col time) 'R'
+        | _ -> ())
+      events;
+    let buf = Buffer.create ((cores + 3) * (width + 16)) in
+    Printf.ksprintf (Buffer.add_string buf)
+      "virtual time %d..%d cycles; one column ~ %d cycles\n\
+       (# op executing, > migration out, < migration in, R monitor period)\n"
+      lo hi
+      (span_cycles / width);
+    Array.iteri
+      (fun core lane ->
+        Printf.ksprintf (Buffer.add_string buf) "core %2d |%s|\n" core
+          (Bytes.to_string lane))
+      lanes;
+    Printf.ksprintf (Buffer.add_string buf) "monitor |%s|\n"
+      (Bytes.to_string monitor);
+    Buffer.contents buf
+  end

@@ -1,0 +1,29 @@
+(** Exporters for a {!Recorder}'s captured run.
+
+    {!to_string} / {!write_file} produce Chrome [trace_event] JSON (the
+    object-with-[traceEvents] form), loadable in Perfetto
+    ({:https://ui.perfetto.dev}) or [chrome://tracing]:
+
+    - one named track per simulated core ([pid] 0, [tid] = core id);
+    - each completed operation span as a complete ([ph:"X"]) event on the
+      core that executed it, with the queue/migrate/execute cycle
+      breakdown and the {!Recorder.op_class} in [args];
+    - each [Thread_moved] as a flow arrow ([ph:"s"] on the source core,
+      [ph:"f"] on the destination) so migrations draw as arcs;
+    - each [Rebalanced] monitor period as a global instant marker
+      ([ph:"i"]) carrying that period's moves/demotions.
+
+    Timestamps are microseconds of virtual time (cycles divided by the
+    simulated clock rate); drop accounting is included under [otherData].
+
+    {!ascii_timeline} renders the same window as a per-core text timeline
+    for terminals and docs. *)
+
+val to_buffer : Recorder.t -> Buffer.t -> unit
+val to_string : Recorder.t -> string
+val write_file : Recorder.t -> path:string -> unit
+
+val ascii_timeline : ?width:int -> Recorder.t -> string
+(** One lane per core plus a monitor lane: [#] marks an executing
+    operation span, [>]/[<] a migration leaving/arriving, [R] a rebalance
+    period. [width] is the number of time columns (default 72). *)

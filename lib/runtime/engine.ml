@@ -202,7 +202,7 @@ let handler t th =
           (fun k ->
             let core = th.Thread.core in
             let cs = t.cores_.(core) in
-            let acquire_word ~now0 =
+            let acquire_word ~now0 ~contended =
               (* Taking the lock writes its line (read-for-ownership). *)
               l.Spinlock.acquisitions <- l.Spinlock.acquisitions + 1;
               if Probe.active t.probe_ then
@@ -217,6 +217,7 @@ let handler t th =
                            Probe.lock_name = l.Spinlock.name;
                            lock_addr = l.Spinlock.addr;
                          };
+                       contended;
                      });
               let cost =
                 Machine.write t.machine ~core:th.Thread.core ~now:now0
@@ -229,7 +230,7 @@ let handler t th =
             match l.Spinlock.owner with
             | None ->
                 l.Spinlock.owner <- Some th.Thread.id;
-                acquire_word ~now0:cs.clock
+                acquire_word ~now0:cs.clock ~contended:false
             | Some _ ->
                 l.Spinlock.contended <- l.Spinlock.contended + 1;
                 th.Thread.state <- Thread.Spinning;
@@ -254,7 +255,7 @@ let handler t th =
                                  in
                                  c.Counters.spin_cycles <-
                                    c.Counters.spin_cycles + (cs.clock - attempt);
-                                 acquire_word ~now0:cs.clock )));
+                                 acquire_word ~now0:cs.clock ~contended:true )));
                   }
                   l.Spinlock.waiters)
     | Api.Lock_release l ->

@@ -11,11 +11,18 @@ type event =
       addr : int;
       len : int;
     }
-  | Lock_acquired of { time : int; core : int; tid : int; lock : lock_info }
+  | Lock_acquired of {
+      time : int;
+      core : int;
+      tid : int;
+      lock : lock_info;
+      contended : bool;
+    }
   | Lock_released of { time : int; core : int; tid : int; lock : lock_info }
   | Thread_spawned of { time : int; core : int; tid : int; name : string }
   | Thread_finished of { time : int; core : int; tid : int }
   | Thread_moved of { time : int; tid : int; from_core : int; to_core : int }
+  | Op_requested of { time : int; core : int; tid : int; addr : int }
   | Op_started of {
       time : int;
       core : int;

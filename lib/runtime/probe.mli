@@ -30,7 +30,15 @@ type event =
     }  (** An {!Api.read} / {!Api.write} performed by a simulated thread.
           Lock-word traffic is not reported here; it arrives as
           [Lock_acquired] / [Lock_released]. *)
-  | Lock_acquired of { time : int; core : int; tid : int; lock : lock_info }
+  | Lock_acquired of {
+      time : int;
+      core : int;
+      tid : int;
+      lock : lock_info;
+      contended : bool;
+          (** [true] when the grant is a direct hand-off from a releasing
+              owner (the acquirer spun); [false] for an uncontended take. *)
+    }
       (** Emitted when the lock is actually granted (immediate or after a
           contended hand-off), not when the acquire was attempted. *)
   | Lock_released of { time : int; core : int; tid : int; lock : lock_info }
@@ -38,6 +46,12 @@ type event =
   | Thread_finished of { time : int; core : int; tid : int }
   | Thread_moved of { time : int; tid : int; from_core : int; to_core : int }
       (** Migration or operation shipping departed [from_core]. *)
+  | Op_requested of { time : int; core : int; tid : int; addr : int }
+      (** A [Coretime.ct_start] was entered, before the annotation overhead
+          and before any migration; [core] is where the caller was running.
+          Together with [Thread_moved] and [Op_started] this lets an
+          observer split an operation into queue (annotation + departure
+          wait), migrate (wire + landing) and execute phases. *)
   | Op_started of {
       time : int;
       core : int;

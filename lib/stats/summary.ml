@@ -7,6 +7,7 @@ type t = {
   p50 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
 }
 
 let percentile sorted q =
@@ -44,6 +45,7 @@ let of_array a =
         p50 = percentile sorted 0.5;
         p90 = percentile sorted 0.9;
         p99 = percentile sorted 0.99;
+        p999 = percentile sorted 0.999;
       }
   end
 
@@ -51,5 +53,6 @@ let of_list l = of_array (Array.of_list l)
 
 let pp ppf t =
   Format.fprintf ppf
-    "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f" t.n
-    t.mean t.stddev t.min t.p50 t.p90 t.p99 t.max
+    "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p90=%.2f p99=%.2f p999=%.2f \
+     max=%.2f"
+    t.n t.mean t.stddev t.min t.p50 t.p90 t.p99 t.p999 t.max

@@ -9,6 +9,7 @@ type t = {
   p50 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
 }
 
 val of_list : float list -> t option

@@ -246,6 +246,57 @@ let test_lint_rules () =
     (lint_codes ~path:"lib/runtime/domain_pool.ml" ~allow_raw_primitives:false
        "let d = Domain.spawn f\n")
 
+(* Pin the obs-purity rule: observability listeners run inside Probe.emit
+   and must never perform simulation effects or drive the engine. *)
+let test_lint_obs_purity () =
+  Alcotest.(check (list string))
+    "Api call in lib/obs" [ "obs-effect" ]
+    (lint_codes ~path:"lib/obs/recorder.ml" "let f () = Api.compute 5\n");
+  Alcotest.(check (list string))
+    "Engine.spawn in lib/obs" [ "obs-effect" ]
+    (lint_codes ~path:"lib/obs/recorder.ml"
+       "let t = Engine.spawn engine ~core:0 ~name:\"x\" f\n");
+  Alcotest.(check (list string))
+    "Engine.run in lib/obs" [ "obs-effect" ]
+    (lint_codes ~path:"lib/obs/metrics.ml" "let () = Engine.run engine\n");
+  Alcotest.(check (list string))
+    "re-emitting from a listener" [ "obs-effect" ]
+    (lint_codes ~path:"lib/obs/recorder.ml" "let () = Probe.emit p ev\n");
+  Alcotest.(check (list string))
+    "reading engine state is allowed" []
+    (lint_codes ~path:"lib/obs/recorder.ml"
+       "let p = Engine.probe engine\nlet m = Engine.machine engine\n");
+  Alcotest.(check (list string))
+    "rule is scoped to lib/obs/" []
+    (lint_codes ~path:"lib/experiments/x.ml" "let () = Api.compute 5\n");
+  (* the real lib/obs sources stay clean under the rule (the test binary
+     runs from _build/default/test; try the build copy, then the source
+     tree) *)
+  let obs_dir =
+    List.find_opt
+      (fun d -> Sys.file_exists d && Sys.is_directory d)
+      [ "../lib/obs"; "../../../lib/obs" ]
+    |> Option.value ~default:"../lib/obs"
+  in
+  if Sys.file_exists obs_dir && Sys.is_directory obs_dir then
+    Array.iter
+      (fun entry ->
+        if Filename.check_suffix entry ".ml" || Filename.check_suffix entry ".mli"
+        then begin
+          let path = Filename.concat obs_dir entry in
+          let ic = open_in_bin path in
+          let contents =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "lib/obs/%s is effect-free" entry)
+            []
+            (lint_codes ~path:("lib/obs/" ^ entry) contents)
+        end)
+      (Sys.readdir obs_dir)
+
 let suite =
   [
     Alcotest.test_case "unlocked shared writes are flagged as a race" `Quick
@@ -267,4 +318,6 @@ let suite =
     Alcotest.test_case "report dedups and caps" `Quick
       test_report_dedup_and_limit;
     Alcotest.test_case "source lint rules" `Quick test_lint_rules;
+    Alcotest.test_case "lib/obs observers are effect-free" `Quick
+      test_lint_obs_purity;
   ]

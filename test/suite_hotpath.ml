@@ -97,6 +97,33 @@ let test_fat_scan_miss () =
   in
   check_zero_alloc "Fat_dir.find miss (100-entry dir)" words
 
+(* The flight recorder's zero-cost-when-idle claim: producers guard event
+   construction with Probe.active, so with no subscriber the whole
+   emission path — guard included — allocates nothing. (With a recorder
+   subscribed each event is a fresh block by design; that path is timed,
+   not allocation-checked, in bench/main.ml.) *)
+let test_probe_inactive_emits_nothing () =
+  let probe = O2_runtime.Probe.create () in
+  Alcotest.(check bool) "probe starts inactive" false
+    (O2_runtime.Probe.active probe);
+  let words =
+    minor_words_during (fun () ->
+        for i = 1 to iters do
+          if O2_runtime.Probe.active probe then
+            O2_runtime.Probe.emit probe
+              (O2_runtime.Probe.Mem
+                 {
+                   time = i;
+                   core = 0;
+                   tid = 0;
+                   kind = O2_runtime.Probe.Load;
+                   addr = 0;
+                   len = 8;
+                 })
+        done)
+  in
+  check_zero_alloc "guarded emit, no recorder" words
+
 let suite =
   [
     Alcotest.test_case "event queue allocates nothing per event" `Quick
@@ -107,4 +134,6 @@ let suite =
       test_machine_write_l1_hit;
     Alcotest.test_case "FAT directory scan allocates nothing on a miss"
       `Quick test_fat_scan_miss;
+    Alcotest.test_case "recorder-off probe path allocates nothing" `Quick
+      test_probe_inactive_emits_nothing;
   ]

@@ -1,0 +1,600 @@
+(* The flight-recorder subsystem: ring semantics, histogram percentiles,
+   span reconstruction from the probe stream, the metrics==simulator
+   agreement on a real run, and the shape of the exported Perfetto JSON. *)
+
+open O2_obs
+module Probe = O2_runtime.Probe
+
+(* ------------------------------------------------------------------ *)
+(* Ring *)
+
+let test_ring () =
+  let r = Ring.create ~capacity:3 in
+  Alcotest.(check int) "empty length" 0 (Ring.length r);
+  Ring.push r 1;
+  Ring.push r 2;
+  Alcotest.(check (list int)) "partial fill" [ 1; 2 ] (Ring.to_list r);
+  Ring.push r 3;
+  Ring.push r 4;
+  Ring.push r 5;
+  Alcotest.(check (list int)) "keeps most recent" [ 3; 4; 5 ] (Ring.to_list r);
+  Alcotest.(check int) "total" 5 (Ring.total r);
+  Alcotest.(check int) "dropped = total - retained" 2 (Ring.dropped r);
+  Ring.clear r;
+  Alcotest.(check int) "clear resets length" 0 (Ring.length r);
+  Alcotest.(check int) "clear resets total" 0 (Ring.total r)
+
+let test_ring_zero_capacity () =
+  let r = Ring.create ~capacity:0 in
+  Ring.push r 42;
+  Ring.push r 43;
+  Alcotest.(check (list int)) "retains nothing" [] (Ring.to_list r);
+  Alcotest.(check int) "still counts" 2 (Ring.total r);
+  Alcotest.(check int) "all dropped" 2 (Ring.dropped r);
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Ring.create: negative capacity") (fun () ->
+      ignore (Ring.create ~capacity:(-1)))
+
+(* ------------------------------------------------------------------ *)
+(* Hist *)
+
+let test_hist_buckets () =
+  Alcotest.(check int) "bucket of 0" 0 (Hist.bucket_of 0);
+  Alcotest.(check int) "bucket of 1" 1 (Hist.bucket_of 1);
+  Alcotest.(check int) "bucket of 2" 2 (Hist.bucket_of 2);
+  Alcotest.(check int) "bucket of 3" 2 (Hist.bucket_of 3);
+  Alcotest.(check int) "bucket of 4" 3 (Hist.bucket_of 4);
+  Alcotest.(check int) "bucket of 1023" 10 (Hist.bucket_of 1023);
+  Alcotest.(check int) "bucket of 1024" 11 (Hist.bucket_of 1024)
+
+let test_hist_exact_stats () =
+  let h = Hist.create () in
+  List.iter (Hist.add h) [ 10; 20; 30; 40; 1000 ];
+  Alcotest.(check int) "count" 5 (Hist.count h);
+  Alcotest.(check int) "sum" 1100 (Hist.sum h);
+  Alcotest.(check int) "min exact" 10 (Hist.min_value h);
+  Alcotest.(check int) "max exact" 1000 (Hist.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" 220.0 (Hist.mean h);
+  (* q=0 / q=1 are clamped to the exact observed range *)
+  Alcotest.(check (float 1e-9)) "q=0 is min" 10.0 (Hist.percentile h 0.0);
+  Alcotest.(check (float 1e-9)) "q=1 is max" 1000.0 (Hist.percentile h 1.0)
+
+let test_hist_percentile_edges () =
+  let h = Hist.create () in
+  Alcotest.(check (float 1e-9)) "empty p50" 0.0 (Hist.p50 h);
+  Hist.add h 7;
+  (* a single sample answers every quantile with itself *)
+  Alcotest.(check (float 1e-9)) "single q=0" 7.0 (Hist.percentile h 0.0);
+  Alcotest.(check (float 1e-9)) "single p50" 7.0 (Hist.p50 h);
+  Alcotest.(check (float 1e-9)) "single p999" 7.0 (Hist.p999 h);
+  Alcotest.(check (float 1e-9)) "single q=1" 7.0 (Hist.percentile h 1.0);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Hist.percentile: q out of range") (fun () ->
+      ignore (Hist.percentile h 1.5));
+  let neg = Hist.create () in
+  Hist.add neg (-5);
+  Alcotest.(check int) "negative clamps to 0" 0 (Hist.max_value neg);
+  Alcotest.(check int) "clamped sample counted" 1 (Hist.count neg)
+
+let test_hist_percentile_spread () =
+  let h = Hist.create () in
+  (* 100 samples 1..100: percentile estimates must stay within the
+     winning sample's log2 bucket, and the tail must be exact because
+     max rides along. *)
+  for v = 1 to 100 do
+    Hist.add h v
+  done;
+  let p50 = Hist.p50 h in
+  Alcotest.(check bool) "p50 in [32,64)" true (p50 >= 32.0 && p50 < 64.0);
+  Alcotest.(check bool) "p90 in [64,100]" true
+    (Hist.p90 h >= 64.0 && Hist.p90 h <= 100.0);
+  Alcotest.(check (float 1e-9)) "p999 clamps to observed max" 100.0
+    (Hist.p999 h)
+
+let test_hist_merge () =
+  let a = Hist.create () and b = Hist.create () in
+  List.iter (Hist.add a) [ 1; 2; 3 ];
+  List.iter (Hist.add b) [ 100; 200 ];
+  Hist.merge_into ~into:a b;
+  Alcotest.(check int) "merged count" 5 (Hist.count a);
+  Alcotest.(check int) "merged sum" 306 (Hist.sum a);
+  Alcotest.(check int) "merged min" 1 (Hist.min_value a);
+  Alcotest.(check int) "merged max" 200 (Hist.max_value a)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  Metrics.incr ~by:4 m "a";
+  Metrics.incr m "b";
+  Metrics.set_gauge m "g" 1.5;
+  Metrics.observe m "h" 10;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value m "a");
+  Alcotest.(check int) "absent counter is 0" 0 (Metrics.counter_value m "zz");
+  Alcotest.(check (list (pair string int)))
+    "sorted counters"
+    [ ("a", 5); ("b", 1) ]
+    (Metrics.counters m);
+  let m2 = Metrics.create () in
+  Metrics.incr ~by:10 m2 "a";
+  Metrics.set_gauge m2 "g" 9.0;
+  Metrics.observe m2 "h" 30;
+  Metrics.merge_into ~into:m m2;
+  Alcotest.(check int) "counters add on merge" 15 (Metrics.counter_value m "a");
+  Alcotest.(check (option (float 1e-9)))
+    "gauge keeps merged-in sample" (Some 9.0) (Metrics.gauge_value m "g");
+  Alcotest.(check int) "hists merge" 2 (Hist.count (Metrics.hist m "h"))
+
+(* ------------------------------------------------------------------ *)
+(* Span reconstruction from a scripted probe stream *)
+
+let with_recorder ?ring_capacity ?span_capacity ?sample_mem f =
+  let machine = O2_simcore.Machine.create O2_simcore.Config.amd16 in
+  let engine = O2_runtime.Engine.create machine in
+  let r = Recorder.attach ?ring_capacity ?span_capacity ?sample_mem engine in
+  let emit ev = Probe.emit (O2_runtime.Engine.probe engine) ev in
+  f r emit
+
+let test_span_migrated () =
+  with_recorder (fun r emit ->
+      emit (Probe.Op_requested { time = 100; core = 0; tid = 5; addr = 0x40 });
+      emit (Probe.Thread_moved { time = 150; tid = 5; from_core = 0; to_core = 3 });
+      emit
+        (Probe.Op_started
+           { time = 180; core = 3; tid = 5; addr = 0x40; home = Some 3 });
+      emit (Probe.Op_ended { time = 400; core = 3; tid = 5 });
+      match Recorder.spans r with
+      | [ s ] ->
+          Alcotest.(check int) "queue = request->departure" 50 s.Recorder.queue;
+          Alcotest.(check int) "migrate = departure->start" 30 s.Recorder.migrate;
+          Alcotest.(check int) "exec = start->end" 220 s.Recorder.exec;
+          Alcotest.(check int) "request core" 0 s.Recorder.request_core;
+          Alcotest.(check int) "exec core" 3 s.Recorder.exec_core;
+          Alcotest.(check bool) "migrated" true s.Recorder.migrated;
+          Alcotest.(check bool) "classified Migrated" true
+            (Recorder.classify s = Recorder.Migrated);
+          let m = Recorder.metrics r in
+          Alcotest.(check int) "ops counter" 1 (Metrics.counter_value m "ops");
+          Alcotest.(check int) "latency observed" 300
+            (Hist.max_value (Metrics.hist m "op/latency"));
+          Alcotest.(check int) "migrated split observed" 1
+            (Hist.count (Metrics.hist m "op/migrated"))
+      | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans))
+
+let test_span_home_hit_and_remote () =
+  with_recorder (fun r emit ->
+      (* home hit: assigned object, no move *)
+      emit (Probe.Op_requested { time = 10; core = 2; tid = 1; addr = 0x80 });
+      emit
+        (Probe.Op_started
+           { time = 15; core = 2; tid = 1; addr = 0x80; home = Some 2 });
+      emit (Probe.Op_ended { time = 100; core = 2; tid = 1 });
+      (* remote: unassigned object, served in place *)
+      emit (Probe.Op_requested { time = 200; core = 7; tid = 2; addr = 0xc0 });
+      emit
+        (Probe.Op_started
+           { time = 210; core = 7; tid = 2; addr = 0xc0; home = None });
+      emit (Probe.Op_ended { time = 300; core = 7; tid = 2 });
+      match Recorder.spans r with
+      | [ hit; remote ] ->
+          Alcotest.(check bool) "home hit class" true
+            (Recorder.classify hit = Recorder.Home_hit);
+          Alcotest.(check int) "home hit queue" 5 hit.Recorder.queue;
+          Alcotest.(check int) "home hit migrate" 0 hit.Recorder.migrate;
+          Alcotest.(check bool) "remote class" true
+            (Recorder.classify remote = Recorder.Remote);
+          let m = Recorder.metrics r in
+          Alcotest.(check int) "two ops" 2 (Metrics.counter_value m "ops");
+          Alcotest.(check int) "home_hit split" 1
+            (Hist.count (Metrics.hist m "op/home_hit"));
+          Alcotest.(check int) "remote split" 1
+            (Hist.count (Metrics.hist m "op/remote"))
+      | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans))
+
+let test_span_nested () =
+  with_recorder (fun r emit ->
+      emit (Probe.Op_requested { time = 0; core = 0; tid = 9; addr = 0x40 });
+      emit
+        (Probe.Op_started { time = 5; core = 0; tid = 9; addr = 0x40; home = None });
+      emit (Probe.Op_requested { time = 10; core = 0; tid = 9; addr = 0x80 });
+      emit
+        (Probe.Op_started { time = 12; core = 0; tid = 9; addr = 0x80; home = None });
+      emit (Probe.Op_ended { time = 20; core = 0; tid = 9 });
+      emit (Probe.Op_ended { time = 50; core = 0; tid = 9 });
+      match Recorder.spans r with
+      | [ inner; outer ] ->
+          Alcotest.(check int) "inner completes first" 0x80 inner.Recorder.addr;
+          Alcotest.(check int) "inner exec" 8 inner.Recorder.exec;
+          Alcotest.(check int) "outer addr" 0x40 outer.Recorder.addr;
+          Alcotest.(check int) "outer exec" 45 outer.Recorder.exec
+      | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans))
+
+let mem ~time =
+  Probe.Mem { time; core = 0; tid = 0; kind = Probe.Load; addr = 0; len = 8 }
+
+let test_mem_sampling () =
+  with_recorder ~sample_mem:2 (fun r emit ->
+      for i = 1 to 10 do
+        emit (mem ~time:i)
+      done;
+      let m = Recorder.metrics r in
+      Alcotest.(check int) "all counted" 10 (Metrics.counter_value m "mem/events");
+      Alcotest.(check int) "half sampled" 5 (Metrics.counter_value m "mem/sampled");
+      Alcotest.(check int) "ring holds only the sampled" 5
+        (Recorder.events_retained r));
+  with_recorder ~sample_mem:0 (fun r emit ->
+      emit (mem ~time:1);
+      let m = Recorder.metrics r in
+      Alcotest.(check int) "counted" 1 (Metrics.counter_value m "mem/events");
+      Alcotest.(check int) "none sampled" 0 (Metrics.counter_value m "mem/sampled");
+      Alcotest.(check int) "nothing retained" 0 (Recorder.events_retained r))
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON reader — just enough to assert the exported trace is
+   well-formed and to walk its structure. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    let m = String.length word in
+    if !pos + m <= n && String.sub s !pos m = word then begin
+      pos := !pos + m;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents buf
+        else if c = '\\' then begin
+          (if !pos >= n then fail "bad escape"
+           else
+             let e = s.[!pos] in
+             advance ();
+             match e with
+             | '"' -> Buffer.add_char buf '"'
+             | '\\' -> Buffer.add_char buf '\\'
+             | '/' -> Buffer.add_char buf '/'
+             | 'n' -> Buffer.add_char buf '\n'
+             | 't' -> Buffer.add_char buf '\t'
+             | 'r' -> Buffer.add_char buf '\r'
+             | 'b' -> Buffer.add_char buf '\b'
+             | 'f' -> Buffer.add_char buf '\012'
+             | 'u' ->
+                 if !pos + 4 > n then fail "bad \\u";
+                 pos := !pos + 4;
+                 Buffer.add_char buf '?'
+             | _ -> fail "bad escape");
+          go ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected number"
+    else
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "malformed number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elements []
+        end
+    | Some '"' -> Str (string_lit ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> number ()
+    | None -> fail "unexpected end"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let str_member key j =
+  match member key j with Some (Str s) -> Some s | _ -> None
+
+let num_member key j =
+  match member key j with Some (Num f) -> Some f | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Trace export shape, on a real (bounded, deterministic) run *)
+
+let quickstart_recorded () =
+  O2_experiments.Quickstart_exp.execute
+    ~recorder_of:(fun engine -> Recorder.attach engine)
+    ~quick:true ()
+
+let test_metrics_match_simulator () =
+  let result = quickstart_recorded () in
+  let r = Option.get result.O2_experiments.Quickstart_exp.recorder in
+  let m = Recorder.metrics r in
+  (* the acceptance bar: the histogram table's op count equals the
+     simulator's completed-op count exactly, not approximately *)
+  Alcotest.(check int) "metrics ops == Coretime ops"
+    result.O2_experiments.Quickstart_exp.ops
+    (Metrics.counter_value m "ops");
+  Alcotest.(check int) "op/latency count == ops"
+    result.O2_experiments.Quickstart_exp.ops
+    (Hist.count (Metrics.hist m "op/latency"));
+  (* the class split partitions the ops *)
+  let split =
+    Hist.count (Metrics.hist m "op/home_hit")
+    + Hist.count (Metrics.hist m "op/remote")
+    + Hist.count (Metrics.hist m "op/migrated")
+  in
+  Alcotest.(check int) "class split partitions ops"
+    result.O2_experiments.Quickstart_exp.ops split;
+  Alcotest.(check int) "span count == ops (no drops at this size)"
+    result.O2_experiments.Quickstart_exp.ops (Recorder.span_count r);
+  Alcotest.(check int) "threads spawned" 16
+    (Metrics.counter_value m "threads/spawned");
+  Alcotest.(check bool) "some rebalance periods ran" true
+    (Metrics.counter_value m "rebalance/periods" > 0)
+
+let test_trace_export_shape () =
+  let result = quickstart_recorded () in
+  let r = Option.get result.O2_experiments.Quickstart_exp.recorder in
+  let json =
+    match parse_json (Trace_export.to_string r) with
+    | j -> j
+    | exception Bad_json msg -> Alcotest.failf "invalid JSON: %s" msg
+  in
+  let events =
+    match member "traceEvents" json with
+    | Some (Arr evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let ph e = Option.value ~default:"?" (str_member "ph" e) in
+  let spans = List.filter (fun e -> ph e = "X") events in
+  let flows_s = List.filter (fun e -> ph e = "s") events in
+  let flows_f = List.filter (fun e -> ph e = "f") events in
+  let instants = List.filter (fun e -> ph e = "i") events in
+  (* per-core op spans: every span sits on a core track, and the spans
+     cover more than one core *)
+  Alcotest.(check int) "one X span per completed op"
+    result.O2_experiments.Quickstart_exp.ops (List.length spans);
+  let span_cores =
+    List.sort_uniq compare
+      (List.filter_map (fun e -> num_member "tid" e) spans)
+  in
+  Alcotest.(check bool) "spans cover several cores" true
+    (List.length span_cores > 4);
+  List.iter
+    (fun e ->
+      (match num_member "dur" e with
+      | Some d -> Alcotest.(check bool) "dur >= 0" true (d >= 0.0)
+      | None -> Alcotest.fail "span without dur");
+      match member "args" e with
+      | Some args ->
+          Alcotest.(check bool) "args carry the breakdown" true
+            (num_member "queue_cycles" args <> None
+            && num_member "migrate_cycles" args <> None
+            && num_member "exec_cycles" args <> None
+            && str_member "class" args <> None)
+      | None -> Alcotest.fail "span without args")
+    spans;
+  (* at least one migration drawn as a flow arrow, ends paired by id *)
+  Alcotest.(check bool) "at least one flow start" true (flows_s <> []);
+  let ids which = List.sort compare (List.filter_map (num_member "id") which) in
+  Alcotest.(check (list (float 1e-9))) "flow starts pair with finishes"
+    (ids flows_s) (ids flows_f);
+  (* the monitor's periods appear as global instant markers *)
+  Alcotest.(check bool) "at least one rebalance instant" true
+    (List.exists (fun e -> str_member "name" e = Some "rebalance") instants);
+  (* track metadata names every core *)
+  let thread_names =
+    List.filter (fun e -> str_member "name" e = Some "thread_name") events
+  in
+  Alcotest.(check int) "one thread_name per core" 16 (List.length thread_names);
+  (* drop accounting is surfaced *)
+  match member "otherData" json with
+  | Some od ->
+      Alcotest.(check bool) "dropped_events reported" true
+        (num_member "dropped_events" od <> None)
+  | None -> Alcotest.fail "no otherData"
+
+let test_trace_escaping_and_empty_timeline () =
+  (* escape_json must keep arbitrary object names JSON-safe *)
+  with_recorder (fun r emit ->
+      emit (Probe.Op_requested { time = 0; core = 0; tid = 1; addr = 0x40 });
+      emit
+        (Probe.Op_started { time = 1; core = 0; tid = 1; addr = 0x40; home = None });
+      emit (Probe.Op_ended { time = 10; core = 0; tid = 1 });
+      match parse_json (Trace_export.to_string r) with
+      | _ -> ()
+      | exception Bad_json msg -> Alcotest.failf "invalid JSON: %s" msg);
+  with_recorder (fun r _emit ->
+      Alcotest.(check string) "empty timeline" "(no events recorded)\n"
+        (Trace_export.ascii_timeline r))
+
+let test_ascii_timeline () =
+  let result = quickstart_recorded () in
+  let r = Option.get result.O2_experiments.Quickstart_exp.recorder in
+  let timeline = Trace_export.ascii_timeline ~width:60 r in
+  let lines = String.split_on_char '\n' timeline in
+  Alcotest.(check bool) "a lane per core plus monitor plus header" true
+    (List.length lines >= 16 + 3);
+  Alcotest.(check bool) "op coverage drawn" true (String.contains timeline '#');
+  Alcotest.(check bool) "migrations drawn" true (String.contains timeline '>');
+  Alcotest.(check bool) "monitor periods drawn" true
+    (String.contains timeline 'R');
+  Alcotest.(check bool) "monitor lane present" true
+    (List.exists
+       (fun l -> String.length l >= 7 && String.sub l 0 7 = "monitor")
+       lines)
+
+let test_o2top_render () =
+  let result = quickstart_recorded () in
+  let r = Option.get result.O2_experiments.Quickstart_exp.recorder in
+  let out = O2top.render (Recorder.metrics r) in
+  let contains sub =
+    let n = String.length out and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub out i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "histogram section" true
+    (contains "latency histograms");
+  Alcotest.(check bool) "op/latency row" true (contains "op/latency");
+  Alcotest.(check bool) "counters section" true (contains "counters");
+  Alcotest.(check bool) "ops counter row" true (contains "ops");
+  Alcotest.(check bool) "gauges by default" true (contains "core00/");
+  let no_gauges = O2top.render ~gauges:false (Recorder.metrics r) in
+  let contains_ng sub =
+    let n = String.length no_gauges and m = String.length sub in
+    let rec go i =
+      i + m <= n && (String.sub no_gauges i m = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "gauges suppressed" false (contains_ng "core00/")
+
+let test_ring_bound_drops_spans () =
+  with_recorder ~ring_capacity:4 ~span_capacity:1 (fun r emit ->
+      for i = 0 to 2 do
+        let t0 = i * 100 in
+        emit (Probe.Op_requested { time = t0; core = 0; tid = 1; addr = 0x40 });
+        emit
+          (Probe.Op_started
+             { time = t0 + 1; core = 0; tid = 1; addr = 0x40; home = None });
+        emit (Probe.Op_ended { time = t0 + 10; core = 0; tid = 1 })
+      done;
+      Alcotest.(check int) "metrics still exact" 3
+        (Metrics.counter_value (Recorder.metrics r) "ops");
+      Alcotest.(check int) "span storage bounded" 1 (Recorder.span_count r);
+      Alcotest.(check int) "span drops accounted" 2 (Recorder.spans_dropped r);
+      Alcotest.(check int) "event window bounded" 4 (Recorder.events_retained r);
+      Alcotest.(check int) "event drops accounted" 5 (Recorder.events_dropped r))
+
+let suite =
+  [
+    Alcotest.test_case "ring keeps the most recent" `Quick test_ring;
+    Alcotest.test_case "zero-capacity ring counts but retains nothing" `Quick
+      test_ring_zero_capacity;
+    Alcotest.test_case "histogram bucket boundaries" `Quick test_hist_buckets;
+    Alcotest.test_case "histogram exact count/sum/min/max" `Quick
+      test_hist_exact_stats;
+    Alcotest.test_case "histogram percentile edge cases" `Quick
+      test_hist_percentile_edges;
+    Alcotest.test_case "histogram percentile spread" `Quick
+      test_hist_percentile_spread;
+    Alcotest.test_case "histogram merge" `Quick test_hist_merge;
+    Alcotest.test_case "metrics registry and merge" `Quick test_metrics_registry;
+    Alcotest.test_case "span reconstruction: migrated op" `Quick
+      test_span_migrated;
+    Alcotest.test_case "span reconstruction: home hit and remote" `Quick
+      test_span_home_hit_and_remote;
+    Alcotest.test_case "span reconstruction: nested ops" `Quick test_span_nested;
+    Alcotest.test_case "memory-event sampling" `Quick test_mem_sampling;
+    Alcotest.test_case "metrics agree with the simulator exactly" `Quick
+      test_metrics_match_simulator;
+    Alcotest.test_case "trace export is valid trace_event JSON" `Quick
+      test_trace_export_shape;
+    Alcotest.test_case "trace JSON stays valid; empty timeline message" `Quick
+      test_trace_escaping_and_empty_timeline;
+    Alcotest.test_case "ascii timeline draws ops, migrations, monitor" `Quick
+      test_ascii_timeline;
+    Alcotest.test_case "o2top renders the three sections" `Quick
+      test_o2top_render;
+    Alcotest.test_case "bounded storage drops are accounted" `Quick
+      test_ring_bound_drops_spans;
+  ]

@@ -1,5 +1,10 @@
 open O2_stats
 
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
 let test_summary () =
   match Summary.of_list [ 1.0; 2.0; 3.0; 4.0; 5.0 ] with
   | None -> Alcotest.fail "summary"
@@ -9,7 +14,11 @@ let test_summary () =
       Alcotest.(check (float 1e-9)) "min" 1.0 s.Summary.min;
       Alcotest.(check (float 1e-9)) "max" 5.0 s.Summary.max;
       Alcotest.(check (float 1e-9)) "p50" 3.0 s.Summary.p50;
-      Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.0) s.Summary.stddev
+      Alcotest.(check (float 1e-9)) "p999" (1.0 +. (4.0 *. 0.999)) s.Summary.p999;
+      Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.0) s.Summary.stddev;
+      let rendered = Format.asprintf "%a" Summary.pp s in
+      Alcotest.(check bool) "pp mentions p999" true
+        (contains ~sub:"p999=" rendered)
 
 let test_summary_empty_and_percentile () =
   Alcotest.(check bool) "empty" true (Summary.of_list [] = None);
@@ -17,9 +26,22 @@ let test_summary_empty_and_percentile () =
   Alcotest.(check (float 1e-9)) "interpolated" 15.0 (Summary.percentile sorted 0.5);
   Alcotest.(check (float 1e-9)) "q=0" 10.0 (Summary.percentile sorted 0.0);
   Alcotest.(check (float 1e-9)) "q=1" 20.0 (Summary.percentile sorted 1.0);
+  (* a single sample answers every quantile with itself *)
+  Alcotest.(check (float 1e-9)) "single q=0" 7.0 (Summary.percentile [| 7.0 |] 0.0);
+  Alcotest.(check (float 1e-9)) "single q=0.5" 7.0 (Summary.percentile [| 7.0 |] 0.5);
+  Alcotest.(check (float 1e-9)) "single q=1" 7.0 (Summary.percentile [| 7.0 |] 1.0);
+  (match Summary.of_list [ 7.0 ] with
+  | None -> Alcotest.fail "single-sample summary"
+  | Some s ->
+      Alcotest.(check (float 1e-9)) "single p50" 7.0 s.Summary.p50;
+      Alcotest.(check (float 1e-9)) "single p999" 7.0 s.Summary.p999;
+      Alcotest.(check (float 1e-9)) "single stddev" 0.0 s.Summary.stddev);
   Alcotest.check_raises "empty percentile"
     (Invalid_argument "Summary.percentile: empty") (fun () ->
-      ignore (Summary.percentile [||] 0.5))
+      ignore (Summary.percentile [||] 0.5));
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Summary.percentile: q out of range") (fun () ->
+      ignore (Summary.percentile sorted 1.5))
 
 let series l = Series.make ~label:"s" l
 

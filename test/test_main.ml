@@ -21,6 +21,7 @@ let () =
       ("btree", Suite_btree.suite);
       ("sched", Suite_sched.suite);
       ("stats", Suite_stats.suite);
+      ("obs", Suite_obs.suite);
       ("experiments", Suite_experiments.suite);
       ("analysis", Suite_analysis.suite);
     ]
