@@ -89,6 +89,17 @@ let check_fig4_small () =
     (O2_workload.Dir_workload.lookups_done w)
     (Coretime.Rebalancer.stats (Coretime.rebalancer ct))
       .Coretime.Rebalancer.periods;
+  (* The audit above ran after every Rebalanced event; finish with one
+     explicit pass over the final table so the index cross-check (per-core
+     assignment lists, active set vs ops_period) is visibly part of the
+     gate even if the run ended between periods. *)
+  (match Coretime.Object_table.check_accounting (Coretime.table ct) with
+  | Ok () ->
+      Printf.printf
+        "object-table index audit: consistent (%d assigned, %d active)\n"
+        (Coretime.Object_table.assigned_count (Coretime.table ct))
+        (Coretime.Object_table.active_count (Coretime.table ct))
+  | Error e -> Printf.printf "object-table index audit: FAILED: %s\n" e);
   check
 
 let print_dynamic name check =

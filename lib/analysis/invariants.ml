@@ -54,8 +54,7 @@ let audit t ?time () =
                        assigned, budget %d"
                       core used budget))
           done;
-          List.iter
-            (fun (o : Object_table.obj) ->
+          Object_table.iter table (fun o ->
               match o.Object_table.home with
               | Some h when h < 0 || h >= cores ->
                   Report.add t.report
@@ -66,8 +65,7 @@ let audit t ?time () =
                           "object %s assigned to out-of-range core %d \
                            (machine has %d cores)"
                           o.Object_table.name h cores))
-              | Some _ | None -> ())
-            (Object_table.objects table));
+              | Some _ | None -> ()));
       (match Object_table.check_accounting table with
       | Ok () -> ()
       | Error e ->

@@ -246,8 +246,8 @@ let ct_end t =
         o.Object_table.ewma_misses <-
           (alpha *. float_of_int misses)
           +. ((1.0 -. alpha) *. o.Object_table.ewma_misses);
-        o.Object_table.ops_total <- o.Object_table.ops_total + 1;
-        o.Object_table.ops_period <- o.Object_table.ops_period + 1;
+        (* through the table so the monitor's active-set index sees it *)
+        Object_table.note_op t.table_ o;
         if frame.write then begin
           o.Object_table.writes <- o.Object_table.writes + 1;
           (* a written object is no longer a replication candidate *)

@@ -75,10 +75,16 @@ val run : ?attach:(O2_runtime.Engine.t -> unit) -> setup -> point
     whole run (traces). Listeners must observe only; they run inline with
     the simulation. *)
 
+val effective_jobs : jobs:int -> int
+(** [jobs] clamped to [Domain.recommended_domain_count ()] — oversubscribing
+    domains only slows an embarrassingly parallel sweep down. Logs to
+    stderr (once per process) when it clamps. *)
+
 val run_cells : jobs:int -> setup list -> point list
-(** Run independent cells through a domain pool of [jobs] workers
-    ({!O2_runtime.Domain_pool}); [jobs = 1] is plain sequential [run].
-    Results are in input order and bit-identical whatever [jobs] is. *)
+(** Run independent cells through a domain pool of
+    [effective_jobs ~jobs] workers ({!O2_runtime.Domain_pool});
+    [jobs = 1] is plain sequential [run]. Results are in input order and
+    bit-identical whatever [jobs] is. *)
 
 val scaled : quick:bool -> int -> int
 (** Scale a cycle horizon down (x1/4) in quick mode. *)

@@ -55,6 +55,38 @@ let diff t ~since =
     ops_completed = t.ops_completed - since.ops_completed;
   }
 
+let copy_into dst src =
+  dst.loads <- src.loads;
+  dst.stores <- src.stores;
+  dst.l1_hits <- src.l1_hits;
+  dst.l2_hits <- src.l2_hits;
+  dst.l3_hits <- src.l3_hits;
+  dst.remote_hits <- src.remote_hits;
+  dst.dram_loads <- src.dram_loads;
+  dst.invalidations_sent <- src.invalidations_sent;
+  dst.busy_cycles <- src.busy_cycles;
+  dst.spin_cycles <- src.spin_cycles;
+  dst.idle_cycles <- src.idle_cycles;
+  dst.migrations_in <- src.migrations_in;
+  dst.migrations_out <- src.migrations_out;
+  dst.ops_completed <- src.ops_completed
+
+let diff_into dst t ~since =
+  dst.loads <- t.loads - since.loads;
+  dst.stores <- t.stores - since.stores;
+  dst.l1_hits <- t.l1_hits - since.l1_hits;
+  dst.l2_hits <- t.l2_hits - since.l2_hits;
+  dst.l3_hits <- t.l3_hits - since.l3_hits;
+  dst.remote_hits <- t.remote_hits - since.remote_hits;
+  dst.dram_loads <- t.dram_loads - since.dram_loads;
+  dst.invalidations_sent <- t.invalidations_sent - since.invalidations_sent;
+  dst.busy_cycles <- t.busy_cycles - since.busy_cycles;
+  dst.spin_cycles <- t.spin_cycles - since.spin_cycles;
+  dst.idle_cycles <- t.idle_cycles - since.idle_cycles;
+  dst.migrations_in <- t.migrations_in - since.migrations_in;
+  dst.migrations_out <- t.migrations_out - since.migrations_out;
+  dst.ops_completed <- t.ops_completed - since.ops_completed
+
 let add_into acc x =
   acc.loads <- acc.loads + x.loads;
   acc.stores <- acc.stores + x.stores;

@@ -29,6 +29,14 @@ val copy : t -> t
 val diff : t -> since:t -> t
 (** Field-wise subtraction: the events between two snapshots. *)
 
+val copy_into : t -> t -> unit
+(** [copy_into dst src] overwrites every field of [dst] with [src]'s —
+    a {!copy} into preallocated storage, for snapshot scratch that must
+    not allocate per period. *)
+
+val diff_into : t -> t -> since:t -> unit
+(** [diff_into dst t ~since] is {!diff} written into preallocated [dst]. *)
+
 val add_into : t -> t -> unit
 (** [add_into acc x] accumulates [x] into [acc]. *)
 

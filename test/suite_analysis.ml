@@ -173,6 +173,33 @@ let test_capacity_audit () =
        (fun d -> d.A.Diagnostic.code = "capacity")
        (A.Analysis.diagnostics check))
 
+(* The extended accounting audit cross-checks the incremental indexes
+   (per-core assignment lists, active set) against the ground-truth [home]
+   and [ops_period] fields. Flip an object's home behind the API and both
+   the direct check and the end-of-run audit must object. *)
+let test_index_audit () =
+  let _machine, engine = setup_engine () in
+  let ct = Coretime.create engine () in
+  let check = A.Analysis.attach ct in
+  let tbl = Coretime.table ct in
+  let a = Coretime.Object_table.register tbl ~base:0x1000 ~size:64 ~name:"a" () in
+  let b = Coretime.Object_table.register tbl ~base:0x2000 ~size:64 ~name:"b" () in
+  Coretime.Object_table.assign tbl a 0;
+  Coretime.Object_table.assign tbl b 1;
+  Coretime.Object_table.note_op tbl a;
+  Alcotest.(check bool) "consistent table passes" true
+    (Result.is_ok (Coretime.Object_table.check_accounting tbl));
+  (* bypass [assign]: the object now claims core 2 but still sits on core
+     0's intrusive list, and the byte ledgers disagree with the homes *)
+  a.Coretime.Object_table.home <- Some 2;
+  Alcotest.(check bool) "index corruption detected" true
+    (Result.is_error (Coretime.Object_table.check_accounting tbl));
+  A.Analysis.finish check;
+  Alcotest.(check bool) "audit reports the inconsistency" true
+    (List.exists
+       (fun d -> d.A.Diagnostic.code = "accounting")
+       (A.Analysis.diagnostics check))
+
 (* Synthetic probe event: an operation claiming to start away from its
    home core must trip the affinity invariant. *)
 let test_affinity_synthetic () =
@@ -313,6 +340,8 @@ let suite =
       test_held_at_exit;
     Alcotest.test_case "table audit catches a capacity violation" `Quick
       test_capacity_audit;
+    Alcotest.test_case "table audit cross-checks the core indexes" `Quick
+      test_index_audit;
     Alcotest.test_case "affinity invariant catches a stray op" `Quick
       test_affinity_synthetic;
     Alcotest.test_case "report dedups and caps" `Quick

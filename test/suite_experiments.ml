@@ -106,6 +106,80 @@ let test_parallel_sweep_bit_identical () =
   Alcotest.(check int) "cell count" (List.length cells) (List.length par);
   Alcotest.(check bool) "jobs=4 rows bit-identical to jobs=1" true (seq = par)
 
+(* Golden rows: the indexed object table and allocation-free rebalance
+   path are pure reorganisations of the monitor's bookkeeping, so the
+   fig4(a)/(b) small sweeps and the ablation grid must stay bit-identical
+   to the pre-index implementation. The digests below were captured from
+   the full-scan monitor (commit a3b9012); every point field — floats
+   included — is marshalled, so any drift in promotion, demotion,
+   displacement, or move decisions shows up here. Checked at several
+   --jobs widths (widths above the core count clamp, by design). *)
+let digest_points (points : Harness.point list) =
+  Digest.to_hex (Digest.string (Marshal.to_string points []))
+
+let golden_cells ~oscillation =
+  List.concat_map
+    (fun kb ->
+      let spec = O2_workload.Dir_workload.spec_for_data_kb ~kb () in
+      List.map
+        (fun policy ->
+          Harness.setup ~policy ~warmup:2_000_000 ~measure:2_000_000
+            ?oscillation spec)
+        [ Coretime.Policy.baseline; Coretime.Policy.default ])
+    [ 256; 1024 ]
+
+let golden_ablation_cells () =
+  let spec = O2_workload.Dir_workload.spec_for_data_kb ~kb:1024 () in
+  List.map
+    (fun policy ->
+      Harness.setup ~policy ~warmup:2_000_000 ~measure:2_000_000 spec)
+    [
+      Coretime.Policy.baseline;
+      { Coretime.Policy.default with Coretime.Policy.evict_for_hotter = true };
+      { Coretime.Policy.default with Coretime.Policy.replicate_read_only = true };
+      { Coretime.Policy.default with Coretime.Policy.op_shipping = true };
+      { Coretime.Policy.default with Coretime.Policy.clustering = true };
+    ]
+
+let check_golden name cells ~digest ~total_ops =
+  let points = Harness.run_cells ~jobs:1 cells in
+  Alcotest.(check int)
+    (name ^ ": total measured ops")
+    total_ops
+    (List.fold_left (fun a p -> a + p.Harness.ops) 0 points);
+  Alcotest.(check string)
+    (name ^ ": rows bit-identical to the pre-index monitor")
+    digest (digest_points points);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s: bit-identical at jobs=%d" name jobs)
+        digest
+        (digest_points (Harness.run_cells ~jobs cells)))
+    [ 2; 4 ]
+
+let test_golden_fig4a () =
+  check_golden "fig4a-small" (golden_cells ~oscillation:None)
+    ~digest:"881b2ecc755a2780629f98822c71d67c" ~total_ops:8996
+
+let test_golden_fig4b () =
+  check_golden "fig4b-small"
+    (golden_cells
+       ~oscillation:(Some { Harness.period = 500_000; divisor = 4 }))
+    ~digest:"112fb861a3f196562a10bb1fca246594" ~total_ops:6205
+
+let test_golden_ablations () =
+  check_golden "ablation-small"
+    (golden_ablation_cells ())
+    ~digest:"43cec61125686ca9e489d44ec90266e0" ~total_ops:6196
+
+let test_jobs_clamped () =
+  let avail = O2_runtime.Domain_pool.default_jobs () in
+  Alcotest.(check int) "within the core count is untouched" 1
+    (Harness.effective_jobs ~jobs:1);
+  Alcotest.(check int) "oversubscription clamps to the core count" avail
+    (Harness.effective_jobs ~jobs:(avail + 7))
+
 let test_fig2_partitioning () =
   let o2 = Fig2.run_one ~policy:Fig2.o2_policy ~scheduler:"o2" in
   let thread =
@@ -126,6 +200,11 @@ let suite =
     Alcotest.test_case "figure 4 x-axis ladder" `Quick test_kb_ladder;
     Alcotest.test_case "parallel sweep is bit-identical" `Slow
       test_parallel_sweep_bit_identical;
+    Alcotest.test_case "golden rows: figure 4(a) small" `Slow test_golden_fig4a;
+    Alcotest.test_case "golden rows: figure 4(b) small" `Slow test_golden_fig4b;
+    Alcotest.test_case "golden rows: ablation grid" `Slow test_golden_ablations;
+    Alcotest.test_case "run_cells clamps jobs to the core count" `Quick
+      test_jobs_clamped;
     Alcotest.test_case "paper claim: CoreTime wins beyond L3" `Slow test_paper_claim_beyond_l3;
     Alcotest.test_case "paper claim: parity when data fits" `Slow test_paper_claim_fits_in_l3;
     Alcotest.test_case "figure 2: O2 partitions the caches" `Slow test_fig2_partitioning;

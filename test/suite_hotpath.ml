@@ -124,6 +124,41 @@ let test_probe_inactive_emits_nothing () =
   in
   check_zero_alloc "guarded emit, no recorder" words
 
+(* The PR-4 tentpole: a monitor period over a large table with nothing
+   going on must cost nothing. 4096 registered objects, 64 assigned, zero
+   ops since the previous step — the quiet path reads per-core counter
+   deltas into preallocated scratch, sees no active objects and no
+   pressure, and returns without touching the other 4032 entries or the
+   allocator. Before the active-set index this step walked (and, for
+   demotion, sorted) the full table every period. *)
+let test_rebalancer_quiet_step () =
+  let machine = Machine.create Config.amd16 in
+  let cores = Config.cores Config.amd16 in
+  let table = Coretime.Object_table.create ~cores ~budget_per_core:(1 lsl 20) in
+  let objs =
+    Array.init 4096 (fun i ->
+        Coretime.Object_table.register table ~base:(0x1000 + (i * 64)) ~size:64
+          ~name:"o" ())
+  in
+  for i = 0 to 63 do
+    Coretime.Object_table.assign table objs.(i) (i mod cores)
+  done;
+  let rb =
+    Coretime.Rebalancer.create Coretime.Policy.default table machine
+  in
+  let period = Coretime.Policy.default.Coretime.Policy.rebalance_period in
+  (* settle: first step swallows whatever the setup produced *)
+  Coretime.Rebalancer.step rb ~now:period;
+  let words =
+    minor_words_during (fun () ->
+        for i = 2 to iters + 1 do
+          Coretime.Rebalancer.step rb ~now:(i * period)
+        done)
+  in
+  check_zero_alloc "Rebalancer.step quiet period (4096 objects)" words;
+  Alcotest.(check bool) "table still consistent" true
+    (Result.is_ok (Coretime.Object_table.check_accounting table))
+
 let suite =
   [
     Alcotest.test_case "event queue allocates nothing per event" `Quick
@@ -136,4 +171,6 @@ let suite =
       `Quick test_fat_scan_miss;
     Alcotest.test_case "recorder-off probe path allocates nothing" `Quick
       test_probe_inactive_emits_nothing;
+    Alcotest.test_case "quiet rebalancer period allocates nothing" `Quick
+      test_rebalancer_quiet_step;
   ]

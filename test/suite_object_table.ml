@@ -52,6 +52,8 @@ let test_fits_and_place () =
   Alcotest.(check bool) "can place somewhere" true (Object_table.can_place t small);
   Alcotest.(check (float 0.001)) "occupancy" 0.225 (Object_table.occupancy t)
 
+(* The compat shim is deprecated (it allocates per call), but where it
+   survives, registration order is its contract — pinned here. *)
 let test_objects_in_registration_order () =
   let t = table () in
   let names = [ "x"; "y"; "z" ] in
@@ -59,7 +61,78 @@ let test_objects_in_registration_order () =
     (fun i n -> ignore (Object_table.register t ~base:i ~size:1 ~name:n ()))
     names;
   Alcotest.(check (list string)) "order kept" names
-    (List.map (fun o -> o.Object_table.name) (Object_table.objects t))
+    (List.map
+       (fun o -> o.Object_table.name)
+       ((Object_table.objects [@alert "-deprecated"]) t));
+  Alcotest.(check (list string)) "iter agrees with the shim" names
+    (List.rev
+       (Object_table.fold t (fun acc o -> o.Object_table.name :: acc) []))
+
+let names_assigned t core =
+  List.rev
+    (Object_table.fold_assigned t ~core (fun acc o ->
+         o.Object_table.name :: acc) [])
+
+(* Per-core assignment lists: membership tracks assign/unassign exactly,
+   and [assigned] presents the union in registration order (the order the
+   deprecated full-list shim guaranteed). *)
+let test_assigned_lists () =
+  let t = table () in
+  let a = Object_table.register t ~base:1 ~size:10 ~name:"a" () in
+  let b = Object_table.register t ~base:2 ~size:10 ~name:"b" () in
+  let c = Object_table.register t ~base:3 ~size:10 ~name:"c" () in
+  Object_table.assign t a 0;
+  Object_table.assign t b 0;
+  Object_table.assign t c 1;
+  Alcotest.(check int) "core 0 holds two" 2
+    (List.length (names_assigned t 0));
+  Alcotest.(check (list string)) "core 1 holds c" [ "c" ] (names_assigned t 1);
+  Alcotest.(check (list string)) "assigned is registration-ordered"
+    [ "a"; "b" ]
+    (List.map (fun o -> o.Object_table.name) (Object_table.assigned t ~core:0));
+  (* moving relinks: off the old core's list, onto the new one *)
+  Object_table.assign t b 1;
+  Alcotest.(check bool) "b left core 0" true
+    (not (List.mem "b" (names_assigned t 0)));
+  Alcotest.(check bool) "b joined core 1" true
+    (List.mem "b" (names_assigned t 1));
+  Object_table.unassign t a;
+  Alcotest.(check (list string)) "a unlinked" [] (names_assigned t 0);
+  Alcotest.(check bool) "indexes consistent" true
+    (Result.is_ok (Object_table.check_accounting t));
+  (* removal-safe iteration: unassigning the visited object mid-walk *)
+  Object_table.iter_assigned t ~core:1 (fun o -> Object_table.unassign t o);
+  Alcotest.(check int) "core 1 drained in one pass" 0
+    (Object_table.assigned_count t)
+
+(* The active set: note_op enrolls an object exactly once, drain_active
+   resets per-period counts and empties the list without touching
+   never-operated objects. *)
+let test_active_set () =
+  let t = table () in
+  let a = Object_table.register t ~base:1 ~size:10 ~name:"a" () in
+  let b = Object_table.register t ~base:2 ~size:10 ~name:"b" () in
+  ignore (Object_table.register t ~base:3 ~size:10 ~name:"c" ());
+  Alcotest.(check int) "starts empty" 0 (Object_table.active_count t);
+  Object_table.note_op t a;
+  Object_table.note_op t a;
+  Object_table.note_op t b;
+  Alcotest.(check int) "two active" 2 (Object_table.active_count t);
+  Alcotest.(check int) "ops_period counts" 2 a.Object_table.ops_period;
+  Alcotest.(check int) "ops_total accumulates" 2 a.Object_table.ops_total;
+  let seen = ref [] in
+  Object_table.iter_active t (fun o -> seen := o.Object_table.name :: !seen);
+  Alcotest.(check bool) "iter_active sees both" true
+    (List.sort compare !seen = [ "a"; "b" ]);
+  Object_table.drain_active t;
+  Alcotest.(check int) "drained" 0 (Object_table.active_count t);
+  Alcotest.(check int) "period reset" 0 a.Object_table.ops_period;
+  Alcotest.(check int) "total survives" 2 a.Object_table.ops_total;
+  (* re-enrollment after a drain works (the in_active flag was cleared) *)
+  Object_table.note_op t b;
+  Alcotest.(check int) "b re-enrolls" 1 (Object_table.active_count t);
+  Alcotest.(check bool) "indexes consistent" true
+    (Result.is_ok (Object_table.check_accounting t))
 
 let prop_accounting_invariant =
   QCheck2.Test.make ~name:"budget accounting matches assignments" ~count:200
@@ -84,5 +157,8 @@ let suite =
     Alcotest.test_case "assignment accounting" `Quick test_assign_accounting;
     Alcotest.test_case "fits / can_place / occupancy" `Quick test_fits_and_place;
     Alcotest.test_case "objects keep registration order" `Quick test_objects_in_registration_order;
+    Alcotest.test_case "per-core assignment lists" `Quick test_assigned_lists;
+    Alcotest.test_case "active set via note_op / drain_active" `Quick
+      test_active_set;
     QCheck_alcotest.to_alcotest prop_accounting_invariant;
   ]

@@ -14,6 +14,13 @@ let register table n ~size =
   Array.init n (fun i ->
       Object_table.register table ~base:(i * 1000) ~size ~name:(Printf.sprintf "o%d" i) ())
 
+(* Per-period ops go through [note_op] so the table's active-set index
+   sees them, exactly as [Coretime.ct_end] records real operations. *)
+let operate table o n =
+  for _ = 1 to n do
+    Object_table.note_op table o
+  done
+
 let period = Policy.default.Policy.rebalance_period
 
 let set_busy machine core ratio =
@@ -55,7 +62,7 @@ let test_active_objects_not_demoted () =
   Array.iteri (fun i o -> Object_table.assign table o (i mod 16)) objs;
   for _ = 1 to 3 do
     (* object 0 keeps operating; the others are idle *)
-    objs.(0).Object_table.ops_period <- 10;
+    operate table objs.(0) 10;
     Rebalancer.step rb ~now:(period * (1 + (Rebalancer.stats rb).Rebalancer.periods))
   done;
   Alcotest.(check bool) "active object kept" true
@@ -65,7 +72,7 @@ let test_moves_off_saturated_core () =
   let machine, table, rb = setup () in
   let objs = register table 8 ~size:(1 lsl 16) in
   Array.iter (fun o -> Object_table.assign table o 0) objs;
-  Array.iter (fun o -> o.Object_table.ops_period <- 100) objs;
+  Array.iter (fun o -> operate table o 100) objs;
   set_busy machine 0 0.99;
   for core = 1 to 15 do
     set_busy machine core 0.05
@@ -82,7 +89,7 @@ let test_balanced_cores_stay_put () =
   let machine, table, rb = setup () in
   let objs = register table 16 ~size:(1 lsl 16) in
   Array.iteri (fun i o -> Object_table.assign table o i) objs;
-  Array.iter (fun o -> o.Object_table.ops_period <- 100) objs;
+  Array.iter (fun o -> operate table o 100) objs;
   for core = 0 to 15 do
     set_busy machine core 0.5
   done;
@@ -92,9 +99,12 @@ let test_balanced_cores_stay_put () =
 let test_ops_period_reset () =
   let _, table, rb = setup () in
   let objs = register table 3 ~size:1000 in
-  objs.(1).Object_table.ops_period <- 42;
+  operate table objs.(1) 42;
+  Alcotest.(check int) "42 ops pending" 42 objs.(1).Object_table.ops_period;
+  Alcotest.(check int) "on the active list" 1 (Object_table.active_count table);
   Rebalancer.step rb ~now:period;
-  Alcotest.(check int) "reset after the period" 0 objs.(1).Object_table.ops_period
+  Alcotest.(check int) "reset after the period" 0 objs.(1).Object_table.ops_period;
+  Alcotest.(check int) "active list drained" 0 (Object_table.active_count table)
 
 let test_displacement_for_hotter () =
   let policy = { Policy.default with Policy.evict_for_hotter = true } in
@@ -105,8 +115,8 @@ let test_displacement_for_hotter () =
   let hot =
     Object_table.register table ~base:999999 ~size:(1 lsl 20) ~name:"hot" ()
   in
-  Array.iter (fun o -> o.Object_table.ops_period <- 1) cold;
-  hot.Object_table.ops_period <- 50;
+  Array.iter (fun o -> operate table o 1) cold;
+  operate table hot 50;
   Rebalancer.step rb ~now:period;
   Alcotest.(check bool) "hot displaced a cold object" true
     (hot.Object_table.home <> None);
