@@ -177,6 +177,72 @@ let test_probe_recorded =
          if O2_runtime.Probe.active probe then
            O2_runtime.Probe.emit probe (probe_mem_event !i)))
 
+(* The cache observatory's attached cost, as twin rows of read-hit and
+   the capacity-miss stream: the observer pays on_access bookkeeping per
+   sourced line, and the stream rows add the fill/eviction mirror (plus
+   the heat tracker's address-to-object binary search). Compare against
+   the unobserved rows above to price the observatory; suite_hotpath pins
+   that the *detached* sites cost nothing. *)
+let test_read_hit_observed =
+  let machine = O2_simcore.Machine.create O2_simcore.Config.amd16 in
+  let _occ = O2_obs.Occupancy.attach machine in
+  let ext =
+    O2_simcore.Memsys.alloc (O2_simcore.Machine.memory machine) ~name:"b"
+      ~size:64
+  in
+  let addr = ext.O2_simcore.Memsys.base in
+  ignore (O2_simcore.Machine.read machine ~core:0 ~now:0 ~addr ~len:8);
+  Test.make ~name:"machine/read L1 hit, occupancy attached"
+    (Staged.stage (fun () ->
+         ignore (O2_simcore.Machine.read machine ~core:0 ~now:0 ~addr ~len:8)))
+
+let test_read_stream_observed =
+  let machine = O2_simcore.Machine.create O2_simcore.Config.amd16 in
+  let engine = O2_runtime.Engine.create machine in
+  let _occ = O2_obs.Occupancy.attach machine in
+  let _heat = O2_obs.Heat.attach engine in
+  let ext =
+    O2_simcore.Memsys.alloc (O2_simcore.Machine.memory machine) ~name:"s"
+      ~size:(1 lsl 22)
+  in
+  let base = ext.O2_simcore.Memsys.base in
+  let off = ref 0 in
+  Test.make ~name:"machine/read 4KB stream, occupancy+heat"
+    (Staged.stage (fun () ->
+         off := (!off + 4096) land ((1 lsl 22) - 1);
+         ignore
+           (O2_simcore.Machine.read machine ~core:0 ~now:0 ~addr:(base + !off)
+              ~len:4096)))
+
+(* Decision provenance on the emission side: one structured Decision
+   record built, emitted and ring-buffered per run. This is the unit cost
+   a monitor period pays per explained action when --explain is on. *)
+let test_decision_emit =
+  let machine = O2_simcore.Machine.create O2_simcore.Config.amd16 in
+  let engine = O2_runtime.Engine.create machine in
+  let _prov = O2_obs.Provenance.attach engine in
+  let probe = O2_runtime.Engine.probe engine in
+  let i = ref 0 in
+  Test.make ~name:"probe/decision emit, provenance attached"
+    (Staged.stage (fun () ->
+         incr i;
+         if O2_runtime.Probe.active probe then
+           O2_runtime.Probe.emit probe
+             (O2_runtime.Probe.Decision
+                {
+                  time = !i;
+                  decision =
+                    O2_runtime.Probe.Demoted
+                      {
+                        obj_base = 0x1000;
+                        name = "o";
+                        seq = 0;
+                        core = 3;
+                        idle_periods = 4;
+                        threshold_periods = 4;
+                      };
+                })))
+
 (* The PR-4 tentpole claim: one monitor period costs O(active set), not
    O(table). Both rows do identical per-period work — 64 objects operated
    on, then one step — and differ only in registered-table size, so equal
@@ -247,6 +313,9 @@ let bechamel_tests =
     test_domain_pool;
     test_probe_inactive;
     test_probe_recorded;
+    test_read_hit_observed;
+    test_read_stream_observed;
+    test_decision_emit;
     test_fig4a_cell_with;
     test_fig4a_cell_without;
     test_fig4b_cell;

@@ -67,26 +67,77 @@ let trace_arg =
 
 let trace_sample_arg =
   let doc =
-    "Keep 1-in-$(docv) memory-access events in the trace ring (1 = all, \
-     0 = none). Operation spans, migrations, and monitor periods are \
-     always kept."
+    "Keep 1-in-$(docv) memory-access events in the trace ring (1 = all). \
+     Operation spans, migrations, and monitor periods are always kept."
   in
   Arg.(value & opt int 1 & info [ "trace-sample" ] ~docv:"N" ~doc)
 
+let occupancy_arg =
+  let doc =
+    "Attach the cache observatory's occupancy tracker and print the \
+     per-cache occupancy table (quickstart) or per-cell chip-line columns \
+     (figures and ablations). Implied for the traced cell whenever \
+     $(b,--trace) is given, so the Perfetto export always carries its \
+     occupancy counter tracks."
+  in
+  Arg.(value & flag & info [ "occupancy" ] ~doc)
+
+let occupancy_interval_arg =
+  let doc =
+    "Occupancy sampling interval in simulated cycles: every $(docv) \
+     cycles the tracker snapshots per-cache line/object counts for the \
+     timeline and the Perfetto counter tracks."
+  in
+  Arg.(
+    value
+    & opt int O2_experiments.Harness.no_obs.O2_experiments.Harness.occupancy_interval
+    & info [ "occupancy-interval" ] ~docv:"CYCLES" ~doc)
+
+let heat_arg =
+  let doc =
+    "Attach the cache observatory's per-object heat tracker and print the \
+     top-$(b,--heat-top) table (ops, hits per level, fills, evictions) \
+     after the run (quickstart)."
+  in
+  Arg.(value & flag & info [ "heat" ] ~doc)
+
+let heat_top_arg =
+  let doc = "Rows in the $(b,--heat) table (hottest objects first)." in
+  Arg.(value & opt int 10 & info [ "heat-top" ] ~docv:"K" ~doc)
+
+let explain_arg =
+  let doc =
+    "Record scheduler decision provenance and print every promotion, \
+     migration, demotion, and rebalance decision with the inputs and \
+     scores that produced it (quickstart; see also $(b,o2explain))."
+  in
+  Arg.(value & flag & info [ "explain" ] ~doc)
+
 let run_cmd =
   let doc = "Run experiments and print paper-shaped tables and figures." in
-  let run quick all jobs out metrics trace trace_sample ids =
+  let run quick all jobs out metrics trace trace_sample occupancy
+      occupancy_interval heat heat_top explain ids =
     if jobs < 1 then begin
       prerr_endline "o2sim: --jobs must be at least 1";
       exit 1
     end;
-    if trace_sample < 0 then begin
-      prerr_endline "o2sim: --trace-sample must be >= 0";
-      exit 1
-    end;
     let obs =
-      { O2_experiments.Harness.metrics; trace; trace_sample }
+      {
+        O2_experiments.Harness.metrics;
+        trace;
+        trace_sample;
+        occupancy;
+        occupancy_interval;
+        heat;
+        heat_top;
+        explain;
+      }
     in
+    (match O2_experiments.Harness.validate_obs obs with
+    | Ok () -> ()
+    | Error msg ->
+        prerr_endline ("o2sim: " ^ msg);
+        exit 1);
     let ids = if all then O2_experiments.Registry.ids () else ids in
     let finish ppf result =
       Format.pp_print_flush ppf ();
@@ -120,7 +171,8 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const run $ quick_arg $ all_arg $ jobs_arg $ out_arg $ metrics_arg
-      $ trace_arg $ trace_sample_arg $ ids_arg)
+      $ trace_arg $ trace_sample_arg $ occupancy_arg $ occupancy_interval_arg
+      $ heat_arg $ heat_top_arg $ explain_arg $ ids_arg)
 
 let machine_cmd =
   let doc = "Describe the simulated machines." in

@@ -163,7 +163,7 @@ let on_event t ev =
       | Some [] | None -> ())
   | Probe.Rebalanced { time; _ } -> audit t ~time ()
   | Probe.Lock_acquired _ | Probe.Lock_released _ | Probe.Thread_spawned _
-  | Probe.Thread_moved _ | Probe.Op_requested _ ->
+  | Probe.Thread_moved _ | Probe.Op_requested _ | Probe.Decision _ ->
       ()
 
 let finish t = audit t ()

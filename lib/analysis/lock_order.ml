@@ -133,7 +133,7 @@ let on_event t ev =
       | Some [] | None -> ())
   | Probe.Mem _ | Probe.Thread_spawned _ | Probe.Thread_moved _
   | Probe.Op_requested _ | Probe.Op_started _ | Probe.Op_ended _
-  | Probe.Rebalanced _ ->
+  | Probe.Rebalanced _ | Probe.Decision _ ->
       ()
 
 let finish _t = ()

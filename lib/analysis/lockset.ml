@@ -197,7 +197,7 @@ let on_event t ev =
           h.op_tokens <- rest;
           (match tok with Some token -> release t tid token | None -> ()))
   | Probe.Thread_finished _ | Probe.Thread_spawned _ | Probe.Thread_moved _
-  | Probe.Op_requested _ | Probe.Rebalanced _ ->
+  | Probe.Op_requested _ | Probe.Rebalanced _ | Probe.Decision _ ->
       ()
 
 let cells_tracked t = Hashtbl.length t.cells

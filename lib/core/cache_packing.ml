@@ -63,3 +63,14 @@ let place_one ?(nonce = 0) ~placement ~budget ~used ~bytes () =
 
 let is_feasible ~budget ~used ~bytes =
   Array.exists (fun u -> u + bytes <= budget) used
+
+(* Size of the candidate set a placement chose from — recorded in the
+   promotion's provenance. Allocation-free: runs on every promotion when a
+   decision subscriber is attached. *)
+let count_fits ~budget ~used ~bytes =
+  let n = Array.length used in
+  let rec go c acc =
+    if c >= n then acc
+    else go (c + 1) (if used.(c) + bytes <= budget then acc + 1 else acc)
+  in
+  go 0 0

@@ -37,3 +37,8 @@ val place_one :
     a parallel experiment sweep must not share a PRNG. *)
 
 val is_feasible : budget:int -> used:int array -> bytes:int -> bool
+
+val count_fits : budget:int -> used:int array -> bytes:int -> int
+(** How many cores could take [bytes] under [budget] — the size of the
+    candidate set {!place_one} chose from, reported in promotion
+    provenance records. Allocation-free. *)

@@ -113,7 +113,23 @@ let maybe_promote t (o : Object_table.obj) =
   then
     if replicate_instead t o then begin
       o.Object_table.replicated <- true;
-      t.stats_.replications <- t.stats_.replications + 1
+      t.stats_.replications <- t.stats_.replications + 1;
+      let pr = Engine.probe t.engine_ in
+      if Probe.active pr then
+        Probe.emit pr
+          (Probe.Decision
+             {
+               time = Api.now ();
+               decision =
+                 Probe.Promotion_replicated
+                   {
+                     obj_base = o.Object_table.base;
+                     name = o.Object_table.name;
+                     seq = o.Object_table.seq;
+                     ops_period = o.Object_table.ops_period;
+                     min_ops = t.policy_.Policy.replicate_min_ops;
+                   };
+             })
     end
     else begin
       let used =
@@ -141,7 +157,40 @@ let maybe_promote t (o : Object_table.obj) =
       match core with
       | Some core ->
           Object_table.assign t.table_ o core;
-          t.stats_.promotions <- t.stats_.promotions + 1
+          t.stats_.promotions <- t.stats_.promotions + 1;
+          let pr = Engine.probe t.engine_ in
+          if Probe.active pr then
+            Probe.emit pr
+              (Probe.Decision
+                 {
+                   time = Api.now ();
+                   decision =
+                     Probe.Promoted
+                       {
+                         obj_base = o.Object_table.base;
+                         name = o.Object_table.name;
+                         seq = o.Object_table.seq;
+                         assigns = o.Object_table.assigns;
+                         core;
+                         placement =
+                           (match p.Policy.placement with
+                           | Policy.First_fit -> "first-fit"
+                           | Policy.Least_loaded -> "least-loaded"
+                           | Policy.Random_fit _ -> "random-fit");
+                         clustered = clustered <> None;
+                         ewma_misses = o.Object_table.ewma_misses;
+                         threshold = p.Policy.promote_threshold;
+                         ops_total = o.Object_table.ops_total;
+                         min_ops = p.Policy.promote_min_ops;
+                         bytes = o.Object_table.size;
+                         budget = Object_table.budget t.table_;
+                         used_after = Object_table.used t.table_ core;
+                         fitting_cores =
+                           Cache_packing.count_fits
+                             ~budget:(Object_table.budget t.table_)
+                             ~used ~bytes:o.Object_table.size;
+                       };
+                 })
       | None -> ()  (* no cache has space: hardware keeps managing it *)
     end
 

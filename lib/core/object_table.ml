@@ -10,6 +10,7 @@ type obj = {
   mutable idle_periods : int;
   mutable writes : int;
   mutable replicated : bool;
+  mutable assigns : int;
   mutable owner_pid : int;
   mutable link_prev : obj option;
   mutable link_next : obj option;
@@ -75,6 +76,7 @@ let register t ?(pid = 0) ~base ~size ~name () =
       idle_periods = 0;
       writes = 0;
       replicated = false;
+      assigns = 0;
       owner_pid = pid;
       link_prev = None;
       link_next = None;
@@ -136,6 +138,7 @@ let assign t o core =
     invalid_arg "Object_table.assign: core out of range";
   unassign t o;
   o.home <- Some core;
+  o.assigns <- o.assigns + 1;
   t.used_.(core) <- t.used_.(core) + o.size;
   t.assigned_n <- t.assigned_n + 1;
   o.link_next <- t.heads.(core);

@@ -28,6 +28,9 @@ type obj = {
       (** The replication policy decided the hardware should manage this
           hot read-only object; promotion leaves it alone until it is
           written. *)
+  mutable assigns : int;
+      (** Lifetime count of {!assign} calls — how often the scheduler has
+          (re)homed this object, surfaced in decision provenance. *)
   mutable owner_pid : int;  (** Owning process (fairness accounting). *)
   mutable link_prev : obj option;
       (** Intrusive per-core assignment list; maintained by

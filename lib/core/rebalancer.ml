@@ -61,6 +61,18 @@ let create ?probe policy table machine =
 
 let stats t = t.stats_
 
+(* Decision provenance: each monitor action announces what it did and why
+   through the probe. Producers test [decisions_on] first so building the
+   record costs nothing when nobody listens (the usual case; pinned by
+   suite_hotpath's guarded-emit probe). *)
+let decisions_on t =
+  match t.probe with Some p -> O2_runtime.Probe.active p | None -> false
+
+let emit_decision t ~now decision =
+  match t.probe with
+  | Some p -> O2_runtime.Probe.emit p (O2_runtime.Probe.Decision { time = now; decision })
+  | None -> ()
+
 (* Candidate scratch: push, then sort in place. The order is total —
    most-operated-on first, registration sequence breaking ties — which is
    exactly what the old stable sort over the registration-ordered table
@@ -117,13 +129,24 @@ let demotion_pressure t =
 
 (* Only assigned objects can be demoted, so walk the per-core assignment
    lists — O(assigned), not O(table) — and let quiet ones age. *)
-let demote_stale t =
+let demote_stale t ~now =
   for core = 0 to Object_table.cores t.table - 1 do
     Object_table.iter_assigned t.table ~core (fun o ->
         let open Object_table in
         if o.ops_period = 0 then begin
           o.idle_periods <- o.idle_periods + 1;
           if o.idle_periods >= t.policy.Policy.demote_idle_periods then begin
+            if decisions_on t then
+              emit_decision t ~now
+                (O2_runtime.Probe.Demoted
+                   {
+                     obj_base = o.base;
+                     name = o.name;
+                     seq = o.seq;
+                     core;
+                     idle_periods = o.idle_periods;
+                     threshold_periods = t.policy.Policy.demote_idle_periods;
+                   });
             Object_table.unassign t.table o;
             o.idle_periods <- 0;
             t.stats_.demotions <- t.stats_.demotions + 1
@@ -132,7 +155,7 @@ let demote_stale t =
         else o.idle_periods <- 0)
   done
 
-let move_from_saturated t period =
+let move_from_saturated t ~now period =
   let ncores = Array.length t.deltas in
   (* Per-core ratios into reused arrays; sums ride along in scratch cells
      so nothing is boxed. Summation order matches the old left fold. *)
@@ -220,7 +243,8 @@ let move_from_saturated t period =
                    *. ((t.busy_.(core) -. avg_busy) /. t.busy_.(core))))
             else 0
           in
-          let shed = ref (max busy_shed (core_ops / 4)) in
+          let shed_target = max busy_shed (core_ops / 4) in
+          let shed = ref shed_target in
           for ci = 0 to t.cand_len - 1 do
             let o = t.cand_.(ci) in
             if !shed > 0 && !moves_left > 0 && o.Object_table.ops_period > 0
@@ -239,6 +263,52 @@ let move_from_saturated t period =
               match try_receiver 0 with
               | None -> ()
               | Some (c, k) ->
+                  if decisions_on t then begin
+                    (* The candidate this one beat: the next-hottest not yet
+                       considered, in the same (ops desc, seq asc) order the
+                       selection walked. *)
+                    let ru =
+                      if ci + 1 < t.cand_len then Some t.cand_.(ci + 1)
+                      else None
+                    in
+                    emit_decision t ~now
+                      (O2_runtime.Probe.Moved
+                         {
+                           obj_base = o.Object_table.base;
+                           name = o.Object_table.name;
+                           seq = o.Object_table.seq;
+                           assigns = o.Object_table.assigns + 1;
+                           ops_period = o.Object_table.ops_period;
+                           from_core = core;
+                           to_core = c;
+                           src_busy = t.busy_.(core);
+                           avg_busy;
+                           src_dram = t.dram_.(core);
+                           avg_dram;
+                           dst_idle = t.idle_.(c);
+                           runner_up_seq =
+                             (match ru with
+                             | Some r -> r.Object_table.seq
+                             | None -> -1);
+                           runner_up_name =
+                             (match ru with
+                             | Some r -> r.Object_table.name
+                             | None -> "");
+                           runner_up_ops =
+                             (match ru with
+                             | Some r -> r.Object_table.ops_period
+                             | None -> 0);
+                           tie_break =
+                             (match ru with
+                             | Some r ->
+                                 r.Object_table.ops_period
+                                 = o.Object_table.ops_period
+                             | None -> false);
+                           shed_before = !shed;
+                           shed_target;
+                           moves_left = !moves_left;
+                         })
+                  end;
                   Object_table.assign t.table o c;
                   next_recv := (!next_recv + k + 1) mod n;
                   shed := !shed - o.Object_table.ops_period;
@@ -257,7 +327,7 @@ let move_from_saturated t period =
    its operations this period. Unassigned-but-operated-on objects are by
    definition in the active set, so the candidates come from there — never
    from a table scan. *)
-let displace_for_hotter t =
+let displace_for_hotter t ~now =
   t.cand_len <- 0;
   Object_table.iter_active t.table (fun o ->
       if o.Object_table.home = None && o.Object_table.ops_period > 0 then
@@ -288,10 +358,26 @@ let displace_for_hotter t =
       | Some v ->
           let core = Option.get v.Object_table.home in
           Object_table.unassign t.table v;
-          if Object_table.fits t.table ~core hot then begin
+          let placed = Object_table.fits t.table ~core hot in
+          if placed then begin
             Object_table.assign t.table hot core;
             t.stats_.displacements <- t.stats_.displacements + 1
-          end
+          end;
+          if decisions_on t then
+            emit_decision t ~now
+              (O2_runtime.Probe.Displaced
+                 {
+                   hot_base = hot.Object_table.base;
+                   hot_name = hot.Object_table.name;
+                   hot_seq = hot.Object_table.seq;
+                   hot_ops = hot.Object_table.ops_period;
+                   victim_base = v.Object_table.base;
+                   victim_name = v.Object_table.name;
+                   victim_seq = v.Object_table.seq;
+                   victim_ops = v.Object_table.ops_period;
+                   core;
+                   placed;
+                 })
       | None -> ()
     end
   done
@@ -300,13 +386,24 @@ let displace_for_hotter t =
    was evident may be better replicated by the hardware. Un-schedule hot
    read-only assignments — necessarily assigned, so the per-core lists
    hold every candidate; the [replicated] flag keeps promotion away. *)
-let release_hot_read_only t =
+let release_hot_read_only t ~now =
   for core = 0 to Object_table.cores t.table - 1 do
     Object_table.iter_assigned t.table ~core (fun o ->
         let open Object_table in
         if
           o.writes = 0 && o.ops_period >= t.policy.Policy.replicate_min_ops
         then begin
+          if decisions_on t then
+            emit_decision t ~now
+              (O2_runtime.Probe.Released
+                 {
+                   obj_base = o.base;
+                   name = o.name;
+                   seq = o.seq;
+                   core;
+                   ops_period = o.ops_period;
+                   min_ops = t.policy.Policy.replicate_min_ops;
+                 });
           Object_table.unassign t.table o;
           o.replicated <- true;
           t.stats_.replications <- t.stats_.replications + 1
@@ -322,10 +419,10 @@ let step t ~now =
   let period = now - t.last_now in
   let moves0 = t.stats_.moves and demotions0 = t.stats_.demotions in
   t.stats_.periods <- t.stats_.periods + 1;
-  if demotion_pressure t then demote_stale t;
-  if t.policy.Policy.replicate_read_only then release_hot_read_only t;
-  if t.policy.Policy.evict_for_hotter then displace_for_hotter t;
-  if period > 0 then move_from_saturated t period;
+  if demotion_pressure t then demote_stale t ~now;
+  if t.policy.Policy.replicate_read_only then release_hot_read_only t ~now;
+  if t.policy.Policy.evict_for_hotter then displace_for_hotter t ~now;
+  if period > 0 then move_from_saturated t ~now period;
   (* End of period: reset op counts on exactly the objects that have any,
      instead of sweeping the whole table. *)
   Object_table.drain_active t.table;

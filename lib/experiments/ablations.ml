@@ -25,6 +25,35 @@ let lat_cells (obs : Harness.obs) p =
           ]
     | None -> [ "-"; "-" ]
 
+(* Optional per-cell occupancy column ([--occupancy]): distinct lines on
+   chip when the cell finished. The helpers return an [attach] hook for
+   {!Harness.run_cells} plus the per-cell readback. *)
+let occ_columns (obs : Harness.obs) =
+  if obs.Harness.occupancy then [ ("chip lines", Table.Right) ] else []
+
+let occ_trackers (obs : Harness.obs) n =
+  let occs = Array.make n None in
+  let attach =
+    if obs.Harness.occupancy then
+      Some
+        (fun i engine ->
+          occs.(i) <-
+            Some
+              (O2_obs.Occupancy.attach ~interval:obs.Harness.occupancy_interval
+                 (O2_runtime.Engine.machine engine)))
+    else None
+  in
+  let cell i =
+    if not obs.Harness.occupancy then []
+    else
+      [
+        (match occs.(i) with
+        | Some o -> string_of_int (O2_obs.Occupancy.distinct_lines o)
+        | None -> "-");
+      ]
+  in
+  (attach, cell)
+
 let migration_cost ?(obs = Harness.no_obs) ~quick ~jobs ppf =
   Format.fprintf ppf
     "@.=== E6: migration-cost sensitivity (8 MB working set) ===@.@.";
@@ -55,8 +84,9 @@ let migration_cost ?(obs = Harness.no_obs) ~quick ~jobs ppf =
       ~collect_metrics:obs.Harness.metrics spec
     :: List.map cost_cell costs
   in
+  let attach, occ_cell = occ_trackers obs (List.length cells) in
   let baseline, points =
-    match Harness.run_cells ~jobs cells with
+    match Harness.run_cells ?attach ~jobs cells with
     | baseline :: points -> (baseline, points)
     | [] -> assert false
   in
@@ -68,18 +98,19 @@ let migration_cost ?(obs = Harness.no_obs) ~quick ~jobs ppf =
            ("CoreTime (kres/s)", Table.Right);
            ("vs baseline", Table.Right);
          ]
-        @ lat_columns obs)
+        @ occ_columns obs @ lat_columns obs)
   in
-  List.iter2
-    (fun cost p ->
+  List.iteri
+    (fun i (cost, p) ->
       Table.add_row t
         ([
            string_of_int cost;
            Printf.sprintf "%.0f" (kres p);
            Printf.sprintf "%.2fx" (kres p /. kres baseline);
          ]
+        @ occ_cell (i + 1) (* cell 0 is the baseline *)
         @ lat_cells obs p))
-    costs points;
+    (List.combine costs points);
   Format.pp_print_string ppf (Table.render t);
   Format.fprintf ppf "baseline (no CoreTime): %.0f kres/s@." (kres baseline);
   Format.fprintf ppf
@@ -328,9 +359,10 @@ let rebalance ?(obs = Harness.no_obs) ~quick ~jobs ppf =
     Harness.setup ~policy ~warmup ~measure ~oscillation
       ~collect_metrics:obs.Harness.metrics spec
   in
+  let attach, occ_cell = occ_trackers obs 3 in
   let off, on, baseline =
     match
-      Harness.run_cells ~jobs
+      Harness.run_cells ?attach ~jobs
         [
           cell { Coretime.Policy.default with Coretime.Policy.rebalance = false };
           cell Coretime.Policy.default;
@@ -349,10 +381,10 @@ let rebalance ?(obs = Harness.no_obs) ~quick ~jobs ppf =
            ("moves", Table.Right);
            ("demotions", Table.Right);
          ]
-        @ lat_columns obs)
+        @ occ_columns obs @ lat_columns obs)
   in
   List.iter
-    (fun (name, p) ->
+    (fun (name, i, p) ->
       Table.add_row t
         ([
            name;
@@ -360,11 +392,11 @@ let rebalance ?(obs = Harness.no_obs) ~quick ~jobs ppf =
            string_of_int p.Harness.rebalancer_moves;
            string_of_int p.Harness.rebalancer_demotions;
          ]
-        @ lat_cells obs p))
+        @ occ_cell i @ lat_cells obs p))
     [
-      ("without CoreTime", baseline);
-      ("CoreTime, monitor off", off);
-      ("CoreTime, monitor on", on);
+      ("without CoreTime", 2, baseline);
+      ("CoreTime, monitor off", 0, off);
+      ("CoreTime, monitor on", 1, on);
     ];
   Format.pp_print_string ppf (Table.render t);
   Format.fprintf ppf

@@ -6,12 +6,14 @@ type row = {
   dirs : int;
   without_ct : Harness.point;
   with_ct : Harness.point;
+  occ_without : (int * int) option;
+  occ_with : (int * int) option;
 }
 
 let oscillation_default = { Harness.period = 10_000_000; divisor = 16 }
 
-let sweep ?(progress = fun _ -> ()) ?(jobs = 1) ?(metrics = false) ~quick
-    ~oscillation () =
+let sweep ?(progress = fun _ -> ()) ?(jobs = 1) ?(metrics = false) ?occupancy
+    ~quick ~oscillation () =
   (* oscillating runs measure longer so whole phase cycles average out *)
   let horizon_scale = match oscillation with None -> 2 | Some _ -> 3 in
   let cell policy kb =
@@ -35,17 +37,43 @@ let sweep ?(progress = fun _ -> ()) ?(jobs = 1) ?(metrics = false) ~quick
       (fun kb -> [ cell Coretime.Policy.baseline kb; cell Coretime.Policy.default kb ])
       ladder
   in
-  let points = Harness.run_cells ~jobs cells in
-  let rec zip ladder points =
+  (* With the observatory on, every cell carries an occupancy tracker; the
+     end-of-run chip state is read back per cell after the pool joins. The
+     trackers only observe, so the points (and golden digests) are
+     bit-identical with or without them. *)
+  let occs = Array.make (List.length cells) None in
+  let attach =
+    Option.map
+      (fun interval i engine ->
+        occs.(i) <-
+          Some
+            (O2_obs.Occupancy.attach ~interval
+               (O2_runtime.Engine.machine engine)))
+      occupancy
+  in
+  let points = Harness.run_cells ?attach ~jobs cells in
+  let occ i =
+    Option.map
+      (fun o -> (O2_obs.Occupancy.distinct_lines o, O2_obs.Occupancy.replicated o))
+      occs.(i)
+  in
+  let rec zip i ladder points =
     match (ladder, points) with
     | [], [] -> []
     | kb :: ladder, without_ct :: with_ct :: points ->
         let spec = Dir_workload.spec_for_data_kb ~kb () in
-        { kb; dirs = spec.Dir_workload.dirs; without_ct; with_ct }
-        :: zip ladder points
+        {
+          kb;
+          dirs = spec.Dir_workload.dirs;
+          without_ct;
+          with_ct;
+          occ_without = occ (2 * i);
+          occ_with = occ ((2 * i) + 1);
+        }
+        :: zip (i + 1) ladder points
     | _ -> invalid_arg "Figure4.sweep: cell/ladder mismatch"
   in
-  zip ladder points
+  zip 0 ladder points
 
 let to_series rows =
   let mk label f =
@@ -61,6 +89,9 @@ let print_rows ppf rows =
   let with_lat =
     List.exists (fun r -> r.with_ct.Harness.metrics <> None) rows
   in
+  (* Occupancy columns (distinct lines on chip at the end of the cell)
+     appear when the sweep ran with the observatory attached. *)
+  let with_occ = List.exists (fun r -> r.occ_with <> None) rows in
   let t =
     Table.create
       ~columns:
@@ -75,6 +106,13 @@ let print_rows ppf rows =
            ("migrations", Table.Right);
            ("moves", Table.Right);
          ]
+        @ (if with_occ then
+             [
+               ("chip lines w/o", Table.Right);
+               ("chip lines w/", Table.Right);
+               ("replicated w/", Table.Right);
+             ]
+           else [])
         @
         if with_lat then
           [ ("op p50 (cyc)", Table.Right); ("op p99 (cyc)", Table.Right) ]
@@ -101,6 +139,21 @@ let print_rows ppf rows =
                 ]
           | None -> [ "-"; "-" ]
       in
+      let occ_cells =
+        if not with_occ then []
+        else
+          [
+            (match r.occ_without with
+            | Some (lines, _) -> string_of_int lines
+            | None -> "-");
+            (match r.occ_with with
+            | Some (lines, _) -> string_of_int lines
+            | None -> "-");
+            (match r.occ_with with
+            | Some (_, replicated) -> string_of_int replicated
+            | None -> "-");
+          ]
+      in
       Table.add_row t
         ([
            string_of_int r.kb;
@@ -113,7 +166,7 @@ let print_rows ppf rows =
            string_of_int r.with_ct.Harness.op_migrations;
            string_of_int r.with_ct.Harness.rebalancer_moves;
          ]
-        @ lat_cells))
+        @ occ_cells @ lat_cells))
     rows;
   Format.pp_print_string ppf (Table.render t)
 
@@ -138,7 +191,7 @@ let progress_to_stderr line =
    CoreTime on) with a flight recorder attached for the whole run and
    writes the Perfetto JSON. Tracing a single short cell rather than the
    sweep keeps the file loadable and the sweep itself recorder-free. *)
-let write_trace ~quick ~oscillation ~sample ~path ppf =
+let write_trace ~quick ~oscillation ~sample ~occupancy_interval ~path ppf =
   let kb = 8192 in
   let spec = Dir_workload.spec_for_data_kb ~kb () in
   (* Short horizon: enough for promotion, migrations, and several monitor
@@ -155,18 +208,24 @@ let write_trace ~quick ~oscillation ~sample ~path ppf =
       ?oscillation spec
   in
   let recorder = ref None in
+  let occ = ref None in
   ignore
     (Harness.run
        ~attach:(fun engine ->
-         recorder := Some (O2_obs.Recorder.attach ~sample_mem:sample engine))
+         recorder := Some (O2_obs.Recorder.attach ~sample_mem:sample engine);
+         occ :=
+           Some
+             (O2_obs.Occupancy.attach ~interval:occupancy_interval
+                (O2_runtime.Engine.machine engine)))
        s);
   match !recorder with
   | None -> ()
   | Some r ->
-      O2_obs.Trace_export.write_file r ~path;
+      O2_obs.Trace_export.write_file ?occupancy:!occ r ~path;
       Format.fprintf ppf
         "trace: one %d KB CoreTime cell written to %s (%d spans, %d events \
-         retained, %d dropped) — load in https://ui.perfetto.dev@."
+         retained, %d dropped; occupancy counter tracks attached) — load in \
+         https://ui.perfetto.dev@."
         kb path (O2_obs.Recorder.span_count r)
         (O2_obs.Recorder.events_retained r)
         (O2_obs.Recorder.events_dropped r)
@@ -175,13 +234,16 @@ let figure ~title ~oscillation ?(quick = false) ?(jobs = 1)
     ?(obs = Harness.no_obs) ppf =
   let rows =
     sweep ~progress:progress_to_stderr ~jobs ~quick ~metrics:obs.Harness.metrics
+      ?occupancy:
+        (if obs.Harness.occupancy then Some obs.Harness.occupancy_interval
+         else None)
       ~oscillation ()
   in
   print_figure ppf ~title rows;
   match obs.Harness.trace with
   | Some path ->
-      write_trace ~quick ~oscillation ~sample:obs.Harness.trace_sample ~path
-        ppf
+      write_trace ~quick ~oscillation ~sample:obs.Harness.trace_sample
+        ~occupancy_interval:obs.Harness.occupancy_interval ~path ppf
   | None -> ()
 
 let fig4a ?quick ?jobs ?obs ppf =

@@ -11,19 +11,27 @@ type row = {
   dirs : int;
   without_ct : Harness.point;
   with_ct : Harness.point;
+  occ_without : (int * int) option;
+      (** (distinct lines on chip, hardware-replicated lines) at the end
+          of the baseline cell, when the sweep ran with the observatory. *)
+  occ_with : (int * int) option;  (** Same for the CoreTime cell. *)
 }
 
 val sweep :
   ?progress:(string -> unit) ->
   ?jobs:int ->
   ?metrics:bool ->
+  ?occupancy:int ->
   quick:bool ->
   oscillation:Harness.oscillation option ->
   unit ->
   row list
 (** [metrics] (default false) attaches a measured-window metrics recorder
     to every cell; {!print_rows} then appends op-latency percentile
-    columns. *)
+    columns. [occupancy] (a sampling interval in cycles) attaches a
+    cache-observatory occupancy tracker to every cell and fills the
+    [occ_*] row fields; the tracker observes only, so the points are
+    bit-identical either way. *)
 
 val to_series : row list -> O2_stats.Series.t * O2_stats.Series.t
 (** (with CoreTime, without CoreTime). *)

@@ -3,9 +3,44 @@ open O2_workload
 
 type oscillation = { period : int; divisor : int }
 
-type obs = { metrics : bool; trace : string option; trace_sample : int }
+type obs = {
+  metrics : bool;
+  trace : string option;
+  trace_sample : int;
+  occupancy : bool;
+  occupancy_interval : int;
+  heat : bool;
+  heat_top : int;
+  explain : bool;
+}
 
-let no_obs = { metrics = false; trace = None; trace_sample = 1 }
+let no_obs =
+  {
+    metrics = false;
+    trace = None;
+    trace_sample = 1;
+    occupancy = false;
+    occupancy_interval = 200_000;
+    heat = false;
+    heat_top = 10;
+    explain = false;
+  }
+
+let validate_obs o =
+  if o.trace_sample <= 0 then
+    Error
+      (Printf.sprintf
+         "--trace-sample must be >= 1 (got %d): 1 keeps every memory event, \
+          N keeps 1-in-N"
+         o.trace_sample)
+  else if o.occupancy_interval <= 0 then
+    Error
+      (Printf.sprintf
+         "--occupancy-interval must be >= 1 cycle (got %d)"
+         o.occupancy_interval)
+  else if o.heat_top <= 0 then
+    Error (Printf.sprintf "--heat-top must be >= 1 (got %d)" o.heat_top)
+  else Ok ()
 
 type point = {
   data_kb : int;
@@ -146,9 +181,20 @@ let effective_jobs ~jobs =
     avail
   end
 
-let run_cells ~jobs setups =
-  O2_runtime.Domain_pool.map ~jobs:(effective_jobs ~jobs) (fun s -> run s)
-    setups
+let run_cells ?attach ~jobs setups =
+  match attach with
+  | None ->
+      O2_runtime.Domain_pool.map ~jobs:(effective_jobs ~jobs) (fun s -> run s)
+        setups
+  | Some attach ->
+      (* Pair each cell with its index so the per-cell hook can file what it
+         attached (e.g. an occupancy tracker) in a caller-side slot. Each
+         worker writes only its own slots, and the pool joins before the
+         caller reads them. *)
+      let indexed = List.mapi (fun i s -> (i, s)) setups in
+      O2_runtime.Domain_pool.map ~jobs:(effective_jobs ~jobs)
+        (fun (i, s) -> run ~attach:(attach i) s)
+        indexed
 
 let scaled ~quick cycles = if quick then cycles / 4 else cycles
 

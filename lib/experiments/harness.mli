@@ -10,12 +10,24 @@ type obs = {
   metrics : bool;  (** Collect/print latency histograms and counters. *)
   trace : string option;  (** Write a Perfetto trace_event JSON here. *)
   trace_sample : int;  (** Keep 1-in-N [Mem] events in the trace ring. *)
+  occupancy : bool;  (** Attach the cache observatory's occupancy tracker. *)
+  occupancy_interval : int;  (** Cycles between occupancy timeline samples. *)
+  heat : bool;  (** Attach per-object heat attribution. *)
+  heat_top : int;  (** Rows in the printed heat table. *)
+  explain : bool;  (** Record and print scheduler decision provenance. *)
 }
 (** Observability options threaded from the [o2sim] command line into the
     experiments ({!Registry.run_ids}). *)
 
 val no_obs : obs
-(** Everything off: no recorder is attached, probes stay inactive. *)
+(** Everything off: no recorder is attached, probes stay inactive.
+    Intervals and counts default to usable values (200_000-cycle
+    occupancy sampling, top-10 heat) so flags can be flipped on
+    individually. *)
+
+val validate_obs : obs -> (unit, string) result
+(** Reject nonsensical knob values with a CLI-ready message:
+    [trace_sample <= 0], [occupancy_interval <= 0], [heat_top <= 0]. *)
 
 type point = {
   data_kb : int;  (** Total directory-content size (x-axis). *)
@@ -80,11 +92,20 @@ val effective_jobs : jobs:int -> int
     domains only slows an embarrassingly parallel sweep down. Logs to
     stderr (once per process) when it clamps. *)
 
-val run_cells : jobs:int -> setup list -> point list
+val run_cells :
+  ?attach:(int -> O2_runtime.Engine.t -> unit) ->
+  jobs:int ->
+  setup list ->
+  point list
 (** Run independent cells through a domain pool of
     [effective_jobs ~jobs] workers ({!O2_runtime.Domain_pool});
     [jobs = 1] is plain sequential [run]. Results are in input order and
-    bit-identical whatever [jobs] is. *)
+    bit-identical whatever [jobs] is.
+
+    [attach i engine] is each cell's {!run}[ ~attach] hook with the cell's
+    input-order index — observatory sweeps use it to file per-cell
+    trackers in caller-side slots (each worker touches only its own
+    index; the pool joins before the caller reads). *)
 
 val scaled : quick:bool -> int -> int
 (** Scale a cycle horizon down (x1/4) in quick mode. *)

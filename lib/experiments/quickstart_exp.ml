@@ -21,11 +21,12 @@ let iterations ~quick = if quick then 30 else 60
 (* Same shape as examples/quickstart.ml, but bounded: [iterations] scans
    per core over four 64 KB tables, plus a lock-protected shared counter
    so the trace shows hand-offs too. *)
-let execute ?recorder_of ~quick () =
+let execute ?recorder_of ?attach ~quick () =
   let machine = Machine.create Config.amd16 in
   let engine = Engine.create machine in
   let ct = Coretime.create ~policy:Coretime.Policy.default engine () in
   let recorder = Option.map (fun f -> f engine) recorder_of in
+  (match attach with Some f -> f engine | None -> ());
   let mem = Machine.memory machine in
   let table_size = 64 * 1024 in
   let tables =
@@ -68,6 +69,30 @@ let execute ?recorder_of ~quick () =
     recorder;
   }
 
+(* The cache-observatory attachments a run asked for. An occupancy tracker
+   also rides along whenever a trace is requested, so the Perfetto export
+   gets its counter tracks. *)
+type observatory = {
+  occupancy : O2_obs.Occupancy.t option;
+  heat : O2_obs.Heat.t option;
+  provenance : O2_obs.Provenance.t option;
+}
+
+let attach_observatory ~(obs : Harness.obs) engine =
+  let want_occ = obs.Harness.occupancy || obs.Harness.trace <> None in
+  {
+    occupancy =
+      (if want_occ then
+         Some
+           (O2_obs.Occupancy.attach ~interval:obs.Harness.occupancy_interval
+              (Engine.machine engine))
+       else None);
+    heat = (if obs.Harness.heat then Some (O2_obs.Heat.attach engine) else None);
+    provenance =
+      (if obs.Harness.explain then Some (O2_obs.Provenance.attach engine)
+       else None);
+  }
+
 let run ~quick ~obs:(obs : Harness.obs) ppf =
   Format.fprintf ppf
     "@.=== quickstart: bounded table-scan workload (%d cores x %d ops) \
@@ -81,7 +106,12 @@ let run ~quick ~obs:(obs : Harness.obs) ppf =
           O2_obs.Recorder.attach ~sample_mem:obs.Harness.trace_sample engine)
     else None
   in
-  let r = execute ?recorder_of ~quick () in
+  let observatory = ref None in
+  let attach engine = observatory := Some (attach_observatory ~obs engine) in
+  let r = execute ?recorder_of ~attach ~quick () in
+  let observatory =
+    match !observatory with Some o -> o | None -> assert false
+  in
   Format.fprintf ppf "operations completed : %d@." r.ops;
   Format.fprintf ppf "objects promoted     : %d@." r.promotions;
   Format.fprintf ppf "operation migrations : %d@." r.op_migrations;
@@ -89,11 +119,26 @@ let run ~quick ~obs:(obs : Harness.obs) ppf =
   (match r.recorder with
   | Some rec_ when obs.Harness.metrics ->
       Format.fprintf ppf "@.%s"
-        (O2_obs.O2top.render (O2_obs.Recorder.metrics rec_))
+        (O2_obs.O2top.render ~recorder:rec_ (O2_obs.Recorder.metrics rec_))
   | Some _ | None -> ());
+  (match observatory.heat with
+  | Some h ->
+      Format.fprintf ppf "@.-- cache observatory: heat --@.%s"
+        (O2_obs.Heat.render ~top:obs.Harness.heat_top h)
+  | None -> ());
+  (match observatory.occupancy with
+  | Some o when obs.Harness.occupancy ->
+      Format.fprintf ppf "@.-- cache observatory: occupancy --@.%s"
+        (O2_obs.Occupancy.render o)
+  | Some _ | None -> ());
+  (match observatory.provenance with
+  | Some p ->
+      Format.fprintf ppf "@.%s" (O2_obs.Provenance.render p)
+  | None -> ());
   match (r.recorder, obs.Harness.trace) with
   | Some rec_, Some path ->
-      O2_obs.Trace_export.write_file rec_ ~path;
+      O2_obs.Trace_export.write_file ?occupancy:observatory.occupancy rec_
+        ~path;
       Format.fprintf ppf
         "trace written to %s (%d spans, %d events retained, %d dropped) — \
          load in https://ui.perfetto.dev@."
@@ -102,3 +147,38 @@ let run ~quick ~obs:(obs : Harness.obs) ppf =
         (O2_obs.Recorder.events_retained rec_)
         (O2_obs.Recorder.events_dropped rec_)
   | _ -> ()
+
+(* The o2explain report: the full observatory on the quickstart run —
+   heat, occupancy, and every scheduler decision fully explained. *)
+let explain ?(top = 10) ~quick ppf =
+  let obs =
+    {
+      Harness.no_obs with
+      Harness.occupancy = true;
+      heat = true;
+      heat_top = top;
+      explain = true;
+    }
+  in
+  Format.fprintf ppf
+    "=== o2explain: cache observatory + decision provenance (quickstart, \
+     %d cores x %d ops) ===@.@."
+    (Config.cores Config.amd16) (iterations ~quick);
+  let observatory = ref None in
+  let attach engine = observatory := Some (attach_observatory ~obs engine) in
+  let r = execute ~attach ~quick () in
+  let { occupancy; heat; provenance } =
+    match !observatory with Some o -> o | None -> assert false
+  in
+  Format.fprintf ppf
+    "operations %d; promotions %d; op migrations %d; horizon %d cycles@."
+    r.ops r.promotions r.op_migrations r.horizon;
+  (match heat with
+  | Some h -> Format.fprintf ppf "@.%s" (O2_obs.Heat.render ~top h)
+  | None -> ());
+  (match occupancy with
+  | Some o -> Format.fprintf ppf "@.%s" (O2_obs.Occupancy.render o)
+  | None -> ());
+  match provenance with
+  | Some p -> Format.fprintf ppf "@.%s" (O2_obs.Provenance.render p)
+  | None -> ()

@@ -54,7 +54,7 @@ let gauge_table gauges =
     gauges;
   O2_stats.Table.render t
 
-let render ?(gauges = true) metrics =
+let render ?(gauges = true) ?recorder metrics =
   let buf = Buffer.create 2048 in
   let section title body =
     if body <> "" then begin
@@ -73,6 +73,20 @@ let render ?(gauges = true) metrics =
      match Metrics.gauges metrics with
      | [] -> ()
      | gs -> section "gauges (last monitor period)" (gauge_table gs));
+  (match recorder with
+  | None -> ()
+  | Some r ->
+      section "recorder"
+        (Printf.sprintf
+           "events: %d captured, %d retained, %d dropped by the ring bound\n\
+            spans:  %d completed, %d retained, %d dropped by the bound\n"
+           (Recorder.events_total r)
+           (Recorder.events_retained r)
+           (Recorder.events_dropped r)
+           (Recorder.span_count r + Recorder.spans_dropped r)
+           (Recorder.span_count r)
+           (Recorder.spans_dropped r)));
   Buffer.contents buf
 
-let print ?gauges metrics = print_string (render ?gauges metrics)
+let print ?gauges ?recorder metrics =
+  print_string (render ?gauges ?recorder metrics)

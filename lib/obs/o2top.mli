@@ -4,7 +4,9 @@
     Three sections (each omitted when empty): latency histograms with
     count/mean/p50/p90/p99/p999/max columns, counters, and — unless
     [gauges:false] — the per-core gauges from the last monitor period.
-    Output is deterministic: rows are sorted by metric name. *)
+    With [?recorder], a footer accounts for the flight recorder's ring
+    bounds: events and spans captured, retained and dropped. Output is
+    deterministic: rows are sorted by metric name. *)
 
-val render : ?gauges:bool -> Metrics.t -> string
-val print : ?gauges:bool -> Metrics.t -> unit
+val render : ?gauges:bool -> ?recorder:Recorder.t -> Metrics.t -> string
+val print : ?gauges:bool -> ?recorder:Recorder.t -> Metrics.t -> unit

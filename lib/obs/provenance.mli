@@ -1,0 +1,30 @@
+(** Scheduler decision provenance: a bounded flight recorder of the
+    {!O2_runtime.Probe.decision} records CoreTime's promotion path and the
+    rebalancer emit, rendered as fully-explained decisions — the inputs
+    the monitor saw, the score that won, the tie-break, and the action
+    taken. This is the data behind the [o2explain] report and
+    [o2sim --explain]. *)
+
+type record = { time : int; decision : O2_runtime.Probe.decision }
+
+type t
+
+val attach : ?capacity:int -> O2_runtime.Engine.t -> t
+(** Subscribe for the engine's lifetime; keep the most recent [capacity]
+    (default 4096) decisions. *)
+
+val records : t -> record list
+(** Retained decisions, oldest first. *)
+
+val count : t -> int
+val total : t -> int
+val dropped : t -> int
+
+val pp_record : Format.formatter -> record -> unit
+val render_record : record -> string
+(** One decision as a multi-line [inputs / score-or-choice / action]
+    explanation. *)
+
+val render : t -> string
+(** Every retained decision, with a showing-N-of-M header that accounts
+    for ring drops honestly. *)

@@ -79,6 +79,12 @@ let m_threads_finished = "threads/finished"
 let m_rebalance_periods = "rebalance/periods"
 let m_rebalance_moves = "rebalance/moves"
 let m_rebalance_demotions = "rebalance/demotions"
+let m_decisions_promoted = "decisions/promoted"
+let m_decisions_replicated = "decisions/replicated"
+let m_decisions_moved = "decisions/moved"
+let m_decisions_demoted = "decisions/demoted"
+let m_decisions_displaced = "decisions/displaced"
+let m_decisions_released = "decisions/released"
 let h_latency = "op/latency"
 let h_home_hit = "op/home_hit"
 let h_remote = "op/remote"
@@ -228,6 +234,15 @@ let on_event t ev =
       Metrics.incr ~by:moves m m_rebalance_moves;
       Metrics.incr ~by:demotions m m_rebalance_demotions;
       snapshot_cores t ~now:time
+  | Probe.Decision { decision; _ } ->
+      Metrics.incr m
+        (match decision with
+        | Probe.Promoted _ -> m_decisions_promoted
+        | Probe.Promotion_replicated _ -> m_decisions_replicated
+        | Probe.Moved _ -> m_decisions_moved
+        | Probe.Demoted _ -> m_decisions_demoted
+        | Probe.Displaced _ -> m_decisions_displaced
+        | Probe.Released _ -> m_decisions_released)
 
 let attach ?(ring_capacity = 1 lsl 16) ?(span_capacity = 1 lsl 16)
     ?(sample_mem = 1) engine =

@@ -33,7 +33,34 @@ let class_name = function
   | Recorder.Remote -> "remote"
   | Recorder.Migrated -> "migrated"
 
-let to_buffer recorder buf =
+let decision_kind = function
+  | Probe.Promoted _ -> "promote"
+  | Probe.Promotion_replicated _ -> "replicate"
+  | Probe.Moved _ -> "move"
+  | Probe.Demoted _ -> "demote"
+  | Probe.Displaced _ -> "displace"
+  | Probe.Released _ -> "release"
+
+(* The core track a decision belongs on: where the action landed. *)
+let decision_core = function
+  | Probe.Promoted { core; _ }
+  | Probe.Demoted { core; _ }
+  | Probe.Displaced { core; _ }
+  | Probe.Released { core; _ } ->
+      core
+  | Probe.Moved { to_core; _ } -> to_core
+  | Probe.Promotion_replicated _ -> 0
+
+let decision_obj = function
+  | Probe.Promoted { name; _ }
+  | Probe.Promotion_replicated { name; _ }
+  | Probe.Moved { name; _ }
+  | Probe.Demoted { name; _ }
+  | Probe.Released { name; _ } ->
+      name
+  | Probe.Displaced { hot_name; _ } -> hot_name
+
+let to_buffer ?occupancy recorder buf =
   let machine = Recorder.machine recorder in
   let ghz = (Machine.cfg machine).Config.ghz in
   let us = us_of_cycles ~ghz in
@@ -103,28 +130,64 @@ let to_buffer recorder buf =
              \"s\": \"g\", \"pid\": 0, \"tid\": 0, \"ts\": %.3f, \"args\": \
              {\"moves\": %d, \"demotions\": %d}}"
             (us time) moves demotions
+      | Probe.Decision { time; decision } ->
+          event
+            "{\"name\": \"decision/%s\", \"cat\": \"decision\", \"ph\": \
+             \"i\", \"s\": \"t\", \"pid\": 0, \"tid\": %d, \"ts\": %.3f, \
+             \"args\": {\"object\": \"%s\"}}"
+            (decision_kind decision)
+            (decision_core decision)
+            (us time)
+            (escape_json (decision_obj decision))
       | _ -> ())
     (Recorder.events recorder);
+  (* Occupancy counter tracks: one "C" series per cache, sampled on the
+     observatory's interval, so Perfetto draws resident lines and distinct
+     objects over time next to the operation spans. *)
+  (match occupancy with
+  | None -> ()
+  | Some occ ->
+      let n = Occupancy.cache_count occ in
+      List.iter
+        (fun (s : Occupancy.sample) ->
+          for ci = 0 to n - 1 do
+            event
+              "{\"name\": \"occ/%s\", \"ph\": \"C\", \"pid\": 0, \"ts\": \
+               %.3f, \"args\": {\"lines\": %d, \"objects\": %d}}"
+              (escape_json (Occupancy.label occ ci))
+              (us s.Occupancy.at) s.Occupancy.lines.(ci) s.Occupancy.objs.(ci)
+          done)
+        (Occupancy.samples occ));
   Buffer.add_string buf "\n  ],\n";
   Printf.ksprintf (Buffer.add_string buf)
     "  \"displayTimeUnit\": \"ms\",\n\
-    \  \"otherData\": {\"dropped_events\": %d, \"dropped_spans\": %d, \
+    \  \"otherData\": {\"events_total\": %d, \"events_retained\": %d, \
+     \"dropped_events\": %d, \"spans_total\": %d, \"dropped_spans\": %d%s, \
      \"ghz\": %.2f}\n"
+    (Recorder.events_total recorder)
+    (Recorder.events_retained recorder)
     (Recorder.events_dropped recorder)
+    (Recorder.span_count recorder + Recorder.spans_dropped recorder)
     (Recorder.spans_dropped recorder)
+    (match occupancy with
+    | None -> ""
+    | Some occ ->
+        Printf.sprintf ", \"occupancy_samples\": %d, \"occupancy_dropped\": %d"
+          (List.length (Occupancy.samples occ))
+          (Occupancy.samples_dropped occ))
     ghz;
   Buffer.add_string buf "}\n"
 
-let to_string recorder =
+let to_string ?occupancy recorder =
   let buf = Buffer.create 65536 in
-  to_buffer recorder buf;
+  to_buffer ?occupancy recorder buf;
   Buffer.contents buf
 
-let write_file recorder ~path =
+let write_file ?occupancy recorder ~path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string recorder))
+    (fun () -> output_string oc (to_string ?occupancy recorder))
 
 (* ------------------------------------------------------------------ *)
 (* ASCII timeline: a screenshot-equivalent for docs and terminals      *)

@@ -11,17 +11,23 @@
     - each [Thread_moved] as a flow arrow ([ph:"s"] on the source core,
       [ph:"f"] on the destination) so migrations draw as arcs;
     - each [Rebalanced] monitor period as a global instant marker
-      ([ph:"i"]) carrying that period's moves/demotions.
+      ([ph:"i"]) carrying that period's moves/demotions;
+    - each scheduler [Decision] as a thread-scoped instant
+      ([decision/promote], [decision/move], ...) on the core the action
+      landed on;
+    - with [?occupancy], one counter track ([ph:"C"], [occ/<cache>]) per
+      cache charting resident lines and distinct objects over time.
 
     Timestamps are microseconds of virtual time (cycles divided by the
-    simulated clock rate); drop accounting is included under [otherData].
+    simulated clock rate); ring-drop accounting — total/retained/dropped
+    events, spans, and occupancy samples — is included under [otherData].
 
     {!ascii_timeline} renders the same window as a per-core text timeline
     for terminals and docs. *)
 
-val to_buffer : Recorder.t -> Buffer.t -> unit
-val to_string : Recorder.t -> string
-val write_file : Recorder.t -> path:string -> unit
+val to_buffer : ?occupancy:Occupancy.t -> Recorder.t -> Buffer.t -> unit
+val to_string : ?occupancy:Occupancy.t -> Recorder.t -> string
+val write_file : ?occupancy:Occupancy.t -> Recorder.t -> path:string -> unit
 
 val ascii_timeline : ?width:int -> Recorder.t -> string
 (** One lane per core plus a monitor lane: [#] marks an executing

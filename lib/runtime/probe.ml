@@ -2,6 +2,81 @@ type mem_kind = Load | Store
 
 type lock_info = { lock_name : string; lock_addr : int }
 
+type decision =
+  | Promoted of {
+      obj_base : int;
+      name : string;
+      seq : int;
+      assigns : int;
+      core : int;
+      placement : string;
+      clustered : bool;
+      ewma_misses : float;
+      threshold : float;
+      ops_total : int;
+      min_ops : int;
+      bytes : int;
+      budget : int;
+      used_after : int;
+      fitting_cores : int;
+    }
+  | Promotion_replicated of {
+      obj_base : int;
+      name : string;
+      seq : int;
+      ops_period : int;
+      min_ops : int;
+    }
+  | Moved of {
+      obj_base : int;
+      name : string;
+      seq : int;
+      assigns : int;
+      ops_period : int;
+      from_core : int;
+      to_core : int;
+      src_busy : float;
+      avg_busy : float;
+      src_dram : int;
+      avg_dram : float;
+      dst_idle : float;
+      runner_up_seq : int;
+      runner_up_name : string;
+      runner_up_ops : int;
+      tie_break : bool;
+      shed_before : int;
+      shed_target : int;
+      moves_left : int;
+    }
+  | Demoted of {
+      obj_base : int;
+      name : string;
+      seq : int;
+      core : int;
+      idle_periods : int;
+      threshold_periods : int;
+    }
+  | Displaced of {
+      hot_base : int;
+      hot_name : string;
+      hot_seq : int;
+      hot_ops : int;
+      victim_base : int;
+      victim_name : string;
+      victim_seq : int;
+      victim_ops : int;
+      core : int;
+      placed : bool;
+    }
+  | Released of {
+      obj_base : int;
+      name : string;
+      seq : int;
+      core : int;
+      ops_period : int;
+      min_ops : int;
+    }
+
 type event =
   | Mem of {
       time : int;
@@ -32,6 +107,7 @@ type event =
     }
   | Op_ended of { time : int; core : int; tid : int }
   | Rebalanced of { time : int; moves : int; demotions : int }
+  | Decision of { time : int; decision : decision }
 
 type t = { mutable listeners : (event -> unit) list }
 

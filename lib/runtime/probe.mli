@@ -19,6 +19,100 @@ type lock_info = {
   lock_addr : int;  (** The lock word's address (its own cache line). *)
 }
 
+(** A structured record of one scheduler choice — the decision-provenance
+    feed of the cache observatory. Every promotion, migration, demotion,
+    displacement and replication release carries the inputs the scheduler
+    saw (counter diffs, candidate scores), the tie-breaks it applied, and
+    the action it took, so an observer can replay {e why} the placement
+    happened. Emitted only under {!active}, so disabled probes pay
+    nothing for the instrumentation. *)
+type decision =
+  | Promoted of {
+      obj_base : int;
+      name : string;
+      seq : int;  (** Registration sequence (the scheduler's tie-break). *)
+      assigns : int;  (** Lifetime assignment count, this one included. *)
+      core : int;  (** The chosen home. *)
+      placement : string;
+          (** ["first-fit"], ["least-loaded"], ["random-fit"] or
+              ["clustered"]. *)
+      clustered : bool;
+      ewma_misses : float;  (** Input: miss EWMA at promotion time. *)
+      threshold : float;  (** The policy threshold it exceeded. *)
+      ops_total : int;
+      min_ops : int;
+      bytes : int;
+      budget : int;  (** Per-core packing budget. *)
+      used_after : int;  (** Bytes used on [core] after this assignment. *)
+      fitting_cores : int;
+          (** How many cores could have taken the object — the size of the
+              candidate set the packer chose from. *)
+    }
+  | Promotion_replicated of {
+      obj_base : int;
+      name : string;
+      seq : int;
+      ops_period : int;
+      min_ops : int;
+          (** The promotion was withheld: a hot read-only object is left
+              for the hardware to replicate (Section 6.2). *)
+    }
+  | Moved of {
+      obj_base : int;
+      name : string;
+      seq : int;
+      assigns : int;
+      ops_period : int;  (** The candidate score that won. *)
+      from_core : int;
+      to_core : int;
+      src_busy : float;  (** Input: source-core busy ratio this period. *)
+      avg_busy : float;
+      src_dram : int;  (** Input: source-core DRAM loads this period. *)
+      avg_dram : float;
+      dst_idle : float;  (** Receiver idle ratio (most-idle-first order). *)
+      runner_up_seq : int;
+          (** The next-hottest candidate it beat ([-1] when it was the only
+              one). *)
+      runner_up_name : string;
+      runner_up_ops : int;
+      tie_break : bool;
+          (** [true] when the runner-up had equal [ops_period] and the
+              registration sequence decided. *)
+      shed_before : int;  (** Ops still to shed when this move was chosen. *)
+      shed_target : int;
+      moves_left : int;
+    }
+  | Demoted of {
+      obj_base : int;
+      name : string;
+      seq : int;
+      core : int;  (** The home it lost. *)
+      idle_periods : int;
+      threshold_periods : int;  (** [demote_idle_periods] it reached. *)
+    }
+  | Displaced of {
+      hot_base : int;
+      hot_name : string;
+      hot_seq : int;
+      hot_ops : int;
+      victim_base : int;
+      victim_name : string;
+      victim_seq : int;
+      victim_ops : int;  (** At most half of [hot_ops], by policy. *)
+      core : int;  (** The core the victim vacated. *)
+      placed : bool;  (** Whether [hot] actually fit there afterwards. *)
+    }
+  | Released of {
+      obj_base : int;
+      name : string;
+      seq : int;
+      core : int;
+      ops_period : int;
+      min_ops : int;
+          (** A hot read-only assignment was released for hardware
+              replication ([replicate_min_ops] reached). *)
+    }
+
 type event =
   | Mem of {
       time : int;
@@ -67,6 +161,10 @@ type event =
   | Rebalanced of { time : int; moves : int; demotions : int }
       (** One monitor period finished; [moves]/[demotions] are this
           period's counts. *)
+  | Decision of { time : int; decision : decision }
+      (** One scheduler choice, with full provenance. Emitted inside the
+          period (before the closing [Rebalanced]) for monitor actions, and
+          at [ct_start] time for promotions. *)
 
 type t
 

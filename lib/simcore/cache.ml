@@ -8,7 +8,18 @@ type stats = {
   mutable invalidations : int;
 }
 
-type t = { level : level; owner : int; lru : Lru.t; stats : stats }
+type t = {
+  level : level;
+  owner : int;
+  lru : Lru.t;
+  stats : stats;
+  mutable watcher : watcher option;
+}
+
+and watcher = {
+  on_fill : t -> line:int -> victim:int -> unit;
+  on_remove : t -> line:int -> unit;
+}
 
 let create level ~owner ~cap_bytes ~line_bytes =
   if cap_bytes < line_bytes then
@@ -18,7 +29,11 @@ let create level ~owner ~cap_bytes ~line_bytes =
     owner;
     lru = Lru.create ~cap:(cap_bytes / line_bytes);
     stats = { hits = 0; misses = 0; fills = 0; evictions = 0; invalidations = 0 };
+    watcher = None;
   }
+
+let set_watcher t w = t.watcher <- w
+let watched t = t.watcher <> None
 
 let level t = t.level
 let owner t = t.owner
@@ -40,20 +55,38 @@ let fill_evict t line =
   t.stats.fills <- t.stats.fills + 1;
   let victim = Lru.add_evict t.lru line in
   if victim >= 0 then t.stats.evictions <- t.stats.evictions + 1;
+  (match t.watcher with
+  | None -> ()
+  | Some w -> w.on_fill t ~line ~victim);
   victim
 
 let fill t line =
   let victim = fill_evict t line in
   if victim < 0 then None else Some victim
 
+let notify_remove t line =
+  match t.watcher with None -> () | Some w -> w.on_remove t ~line
+
 let invalidate t line =
   let present = Lru.remove t.lru line in
-  if present then t.stats.invalidations <- t.stats.invalidations + 1;
+  if present then begin
+    t.stats.invalidations <- t.stats.invalidations + 1;
+    notify_remove t line
+  end;
   present
 
-let drop t line = Lru.remove t.lru line
+let drop t line =
+  let present = Lru.remove t.lru line in
+  if present then notify_remove t line;
+  present
+
 let iter_lines f t = Lru.iter f t.lru
-let clear t = Lru.clear t.lru
+
+let clear t =
+  (match t.watcher with
+  | None -> ()
+  | Some w -> Lru.iter (fun line -> w.on_remove t ~line) t.lru);
+  Lru.clear t.lru
 
 let level_to_string = function L1 -> "L1" | L2 -> "L2" | L3 -> "L3"
 

@@ -14,8 +14,26 @@ type stats = {
 
 type t
 
+type watcher = {
+  on_fill : t -> line:int -> victim:int -> unit;
+      (** Called after every {!fill_evict}; [victim] is the evicted line or
+          [-1]. The cache already contains [line] and no longer contains the
+          victim when the watcher runs. *)
+  on_remove : t -> line:int -> unit;
+      (** Called after a present line leaves by {!invalidate}, {!drop} or
+          {!clear} (evictions are reported as the [victim] of [on_fill]). *)
+}
+(** Observation hook for the cache observatory. At most one watcher per
+    cache; {!Machine.observe} installs a forwarder that fans out. Watchers
+    must only observe — they run on the access hot path and must not touch
+    cache or simulator state. With no watcher the notification sites cost a
+    single immediate match (zero allocation, pinned by suite_hotpath). *)
+
 val create : level -> owner:int -> cap_bytes:int -> line_bytes:int -> t
 (** [owner] is a core id for L1/L2 and a chip id for L3. *)
+
+val set_watcher : t -> watcher option -> unit
+val watched : t -> bool
 
 val level : t -> level
 val owner : t -> int

@@ -1,3 +1,18 @@
+(* Where a load was sourced, for the observatory's access stream. Bare
+   ints (not a variant reused across calls) so observers can index arrays
+   without a match on the hot path. *)
+let src_l1 = 0
+let src_l2 = 1
+let src_l3 = 2
+let src_remote = 3
+let src_dram = 4
+
+type observer = {
+  on_access : now:int -> core:int -> line:int -> source:int -> unit;
+  on_fill : cache:Cache.t -> line:int -> victim:int -> unit;
+  on_remove : cache:Cache.t -> line:int -> unit;
+}
+
 type t = {
   cfg : Config.t;
   topo : Topology.t;
@@ -16,6 +31,10 @@ type t = {
      once here so the miss path does not repeat the partial applications. *)
   hops_fn : int -> int -> int;
   chip_of_fn : int -> int;
+  (* Cache-observatory subscribers. Empty list = not observed: every
+     notification site is a single [match] on it, so the unobserved access
+     path allocates nothing and pays one branch (pinned by suite_hotpath). *)
+  mutable observers : observer list;
 }
 
 let create cfg =
@@ -47,6 +66,7 @@ let create cfg =
     dram_scratch = Array.make cfg.Config.chips 0;
     hops_fn = Topology.hops topo;
     chip_of_fn = Config.chip_of_core cfg;
+    observers = [];
   }
 
 let cfg t = t.cfg
@@ -62,8 +82,41 @@ let l3 t ~chip = t.l3.(chip)
 let all_caches t =
   Array.to_list t.l1 @ Array.to_list t.l2 @ Array.to_list t.l3
 
+let presence t = t.presence
+
 let chip_of_core t core = Config.chip_of_core t.cfg core
 let line_of t addr = addr / t.cfg.Config.line_bytes
+
+(* Fan cache fill/remove notifications out to the machine-level observer
+   list. Installed on every cache at the first [observe]; before that the
+   caches carry no watcher and their notification sites stay free. *)
+let notify_fill t cache ~line ~victim =
+  List.iter (fun o -> o.on_fill ~cache ~line ~victim) t.observers
+
+let notify_remove t cache ~line =
+  List.iter (fun o -> o.on_remove ~cache ~line) t.observers
+
+let notify_access t ~now ~core ~line ~source =
+  match t.observers with
+  | [] -> ()
+  | obs -> List.iter (fun o -> o.on_access ~now ~core ~line ~source) obs
+
+let observe t observer =
+  if t.observers = [] then begin
+    let w =
+      Some
+        {
+          Cache.on_fill = (fun c ~line ~victim -> notify_fill t c ~line ~victim);
+          Cache.on_remove = (fun c ~line -> notify_remove t c ~line);
+        }
+    in
+    Array.iter (fun c -> Cache.set_watcher c w) t.l1;
+    Array.iter (fun c -> Cache.set_watcher c w) t.l2;
+    Array.iter (fun c -> Cache.set_watcher c w) t.l3
+  end;
+  t.observers <- observer :: t.observers
+
+let observed t = t.observers <> []
 
 (* A core "holds" a line when it is in its L1 or L2; clear the presence bit
    only when it has left both. *)
@@ -104,17 +157,19 @@ let fill_private t core line =
    [t.dram_scratch] per home bank so [read]/[write] can batch them (fetches
    to different banks overlap). The whole path — probes, fills, presence
    updates, nearest-holder location — is allocation-free. *)
-let read_line t ~core ~chip line =
+let read_line t ~core ~chip ~now line =
   let c = t.ctr.(core) in
   c.Counters.loads <- c.Counters.loads + 1;
   if Cache.probe t.l1.(core) line then begin
     c.Counters.l1_hits <- c.Counters.l1_hits + 1;
+    notify_access t ~now ~core ~line ~source:src_l1;
     t.cfg.Config.l1_latency
   end
   else if Cache.probe t.l2.(core) line then begin
     c.Counters.l2_hits <- c.Counters.l2_hits + 1;
     fill_l1 t core line;
     Presence.set_core t.presence ~line ~core;
+    notify_access t ~now ~core ~line ~source:src_l2;
     t.cfg.Config.l2_latency
   end
   else if Cache.probe t.l3.(chip) line then begin
@@ -123,6 +178,7 @@ let read_line t ~core ~chip line =
     ignore (Cache.drop t.l3.(chip) line);
     Presence.clear_chip t.presence ~line ~chip;
     fill_private t core line;
+    notify_access t ~now ~core ~line ~source:src_l3;
     t.cfg.Config.l3_latency
   end
   else begin
@@ -140,6 +196,7 @@ let read_line t ~core ~chip line =
     if holder_chip >= 0 then begin
       c.Counters.remote_hits <- c.Counters.remote_hits + 1;
       fill_private t core line;
+      notify_access t ~now ~core ~line ~source:src_remote;
       Topology.remote_cache_latency t.topo ~from_chip:chip
         ~to_chip:holder_chip
     end
@@ -150,6 +207,7 @@ let read_line t ~core ~chip line =
       c.Counters.dram_loads <- c.Counters.dram_loads + 1;
       fill_private t core line;
       t.dram_scratch.(home) <- t.dram_scratch.(home) + 1;
+      notify_access t ~now ~core ~line ~source:src_dram;
       0
     end
   end
@@ -158,9 +216,11 @@ let read_line t ~core ~chip line =
    without flambda a local ref is a minor allocation, and [read]/[write]
    are the hottest functions in the simulator. *)
 
-let rec read_lines t ~core ~chip line last acc =
+let rec read_lines t ~core ~chip ~now line last acc =
   if line > last then acc
-  else read_lines t ~core ~chip (line + 1) last (acc + read_line t ~core ~chip line)
+  else
+    read_lines t ~core ~chip ~now (line + 1) last
+      (acc + read_line t ~core ~chip ~now line)
 
 (* Cost of the batched DRAM traffic tallied in [t.dram_scratch]: fetches
    to different home banks overlap, so the result is the max over banks. *)
@@ -185,7 +245,7 @@ let read t ~core ~now ~addr ~len =
     let first = line_of t addr in
     let last = line_of t (addr + len - 1) in
     Array.fill t.dram_scratch 0 (Array.length t.dram_scratch) 0;
-    let cache_cycles = read_lines t ~core ~chip first last 0 in
+    let cache_cycles = read_lines t ~core ~chip ~now first last 0 in
     cache_cycles
     + dram_batch_cost t ~now:(now + cache_cycles) ~chip 0 0
   end
@@ -216,12 +276,12 @@ let invalidate_others t ~core ~chip line =
   invalidate_chip_copies t line chip_mask;
   mask <> 0 || chip_mask <> 0
 
-let rec write_lines t ~core ~chip line last acc =
+let rec write_lines t ~core ~chip ~now line last acc =
   if line > last then acc
   else begin
     let c = t.ctr.(core) in
     c.Counters.stores <- c.Counters.stores + 1;
-    let acc = acc + read_line t ~core ~chip line in
+    let acc = acc + read_line t ~core ~chip ~now line in
     let acc =
       if invalidate_others t ~core ~chip line then begin
         c.Counters.invalidations_sent <- c.Counters.invalidations_sent + 1;
@@ -229,7 +289,7 @@ let rec write_lines t ~core ~chip line last acc =
       end
       else acc
     in
-    write_lines t ~core ~chip (line + 1) last acc
+    write_lines t ~core ~chip ~now (line + 1) last acc
   end
 
 let write t ~core ~now ~addr ~len =
@@ -239,7 +299,7 @@ let write t ~core ~now ~addr ~len =
     let first = line_of t addr in
     let last = line_of t (addr + len - 1) in
     Array.fill t.dram_scratch 0 (Array.length t.dram_scratch) 0;
-    let cycles = write_lines t ~core ~chip first last 0 in
+    let cycles = write_lines t ~core ~chip ~now first last 0 in
     cycles + dram_batch_cost t ~now:(now + cycles) ~chip 0 0
   end
 

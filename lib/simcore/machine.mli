@@ -41,8 +41,46 @@ val l2 : t -> core:int -> Cache.t
 val l3 : t -> chip:int -> Cache.t
 val all_caches : t -> Cache.t list
 
+val presence : t -> Presence.t
+(** The coherence directory (read-only for observers: the occupancy
+    report counts hardware-replicated lines through it). *)
+
 val line_resident : t -> core:int -> addr:int -> bool
 (** Whether the line containing [addr] is in [core]'s L1 or L2. *)
+
+(** {2 Cache observatory hooks}
+
+    The access-stream sources, as bare ints so observers can index
+    per-source arrays without a hot-path match: where each loaded line was
+    found. *)
+
+val src_l1 : int
+val src_l2 : int
+val src_l3 : int
+
+val src_remote : int
+(** Another core's or chip's cache, over the interconnect. *)
+
+val src_dram : int
+
+type observer = {
+  on_access : now:int -> core:int -> line:int -> source:int -> unit;
+      (** One line sourced by {!read} / {!write}: [now] is the access's
+          start time, [source] one of the [src_*] constants above. *)
+  on_fill : cache:Cache.t -> line:int -> victim:int -> unit;
+      (** A line entered [cache] ([victim] evicted, or [-1]). *)
+  on_remove : cache:Cache.t -> line:int -> unit;
+      (** A present line left [cache] by invalidation, drop or clear. *)
+}
+
+val observe : t -> observer -> unit
+(** Subscribe an observer for the machine's lifetime (first subscription
+    installs the {!Cache.watcher} forwarders). Observers must not mutate
+    simulator state; they run synchronously on the access path. With no
+    observer every notification site is a single branch and allocates
+    nothing (pinned by suite_hotpath). *)
+
+val observed : t -> bool
 
 val residency : t -> Cache.t -> (Memsys.extent * int) list
 (** For one cache, how many lines of each registered object are resident

@@ -69,6 +69,21 @@ let object_at t ~addr =
     if e.base <= addr && addr < e.base + e.size then Some e else None
   end
 
+(* Allocation-free variant of [object_at] for the observatory's access
+   attribution: the id of the extent containing [addr], or -1. Runs once
+   per observed cache fill, so it must not box an option. *)
+let object_id_at t ~addr =
+  if t.count = 0 then -1
+  else begin
+    let lo = ref 0 and hi = ref (t.count - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.exts.(mid).base <= addr then lo := mid else hi := mid - 1
+    done;
+    let e = t.exts.(!lo) in
+    if e.base <= addr && addr < e.base + e.size then e.id else -1
+  end
+
 let extents t = Array.to_list (Array.sub t.exts 0 t.count)
 
 let lines_of t ext =

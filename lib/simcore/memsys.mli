@@ -33,6 +33,11 @@ val find_exn : t -> obj_id -> extent
 val object_at : t -> addr:int -> extent option
 (** The extent containing [addr], if any. *)
 
+val object_id_at : t -> addr:int -> obj_id
+(** Like {!object_at} but returns the extent's id, or [-1] when [addr] is
+    unmapped. Allocation-free — the cache observatory attributes every
+    observed fill and eviction through this. *)
+
 val extents : t -> extent list
 (** All extents in allocation (= address) order. *)
 

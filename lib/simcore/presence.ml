@@ -147,6 +147,19 @@ let nearest_chip_holder t ~line ~exclude_chip ~from_chip ~hops =
 
 let tracked_lines t = t.size
 
+let popcount mask =
+  let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+  go mask 0
+
+(* Lines with private copies on two or more cores: the hardware is
+   replicating them, the opposite of what object packing wants. *)
+let replicated_lines t =
+  let n = ref 0 in
+  Array.iteri
+    (fun i k -> if k <> 0 && popcount t.cores_.(i) >= 2 then incr n)
+    t.keys;
+  !n
+
 let iter f t =
   Array.iteri
     (fun i k -> if k <> 0 then f (k - 1) ~cores:t.cores_.(i) ~chips:t.chips_.(i))

@@ -47,4 +47,12 @@ val nearest_chip_holder :
 val tracked_lines : t -> int
 (** Number of lines with at least one holder (for tests/metrics). *)
 
+val popcount : int -> int
+(** Bits set in a holder mask. *)
+
+val replicated_lines : t -> int
+(** Lines held in the private hierarchy of two or more cores — data the
+    hardware is replicating rather than the scheduler partitioning (the
+    cache observatory reports this alongside occupancy). *)
+
 val iter : (int -> cores:int -> chips:int -> unit) -> t -> unit

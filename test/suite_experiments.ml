@@ -141,8 +141,8 @@ let golden_ablation_cells () =
       { Coretime.Policy.default with Coretime.Policy.clustering = true };
     ]
 
-let check_golden name cells ~digest ~total_ops =
-  let points = Harness.run_cells ~jobs:1 cells in
+let check_golden ?attach name cells ~digest ~total_ops =
+  let points = Harness.run_cells ?attach ~jobs:1 cells in
   Alcotest.(check int)
     (name ^ ": total measured ops")
     total_ops
@@ -155,7 +155,7 @@ let check_golden name cells ~digest ~total_ops =
       Alcotest.(check string)
         (Printf.sprintf "%s: bit-identical at jobs=%d" name jobs)
         digest
-        (digest_points (Harness.run_cells ~jobs cells)))
+        (digest_points (Harness.run_cells ?attach ~jobs cells)))
     [ 2; 4 ]
 
 let test_golden_fig4a () =
@@ -172,6 +172,49 @@ let test_golden_ablations () =
   check_golden "ablation-small"
     (golden_ablation_cells ())
     ~digest:"43cec61125686ca9e489d44ec90266e0" ~total_ops:6196
+
+(* The cache observatory's standing invariant: occupancy, heat and
+   provenance trackers only observe, so running the same golden cells
+   with the full observatory attached — at every --jobs width — must
+   reproduce the same digests bit for bit. *)
+let observatory_attach _cell engine =
+  ignore
+    (O2_obs.Occupancy.attach ~interval:200_000
+       (O2_runtime.Engine.machine engine));
+  ignore (O2_obs.Heat.attach engine);
+  ignore (O2_obs.Provenance.attach engine)
+
+let test_golden_fig4a_observed () =
+  check_golden "fig4a-small+observatory" ~attach:observatory_attach
+    (golden_cells ~oscillation:None)
+    ~digest:"881b2ecc755a2780629f98822c71d67c" ~total_ops:8996
+
+let test_golden_fig4b_observed () =
+  check_golden "fig4b-small+observatory" ~attach:observatory_attach
+    (golden_cells
+       ~oscillation:(Some { Harness.period = 500_000; divisor = 4 }))
+    ~digest:"112fb861a3f196562a10bb1fca246594" ~total_ops:6205
+
+let test_golden_ablations_observed () =
+  check_golden "ablation-small+observatory" ~attach:observatory_attach
+    (golden_ablation_cells ())
+    ~digest:"43cec61125686ca9e489d44ec90266e0" ~total_ops:6196
+
+let test_validate_obs () =
+  Alcotest.(check bool) "defaults validate" true
+    (Result.is_ok (Harness.validate_obs Harness.no_obs));
+  let check_rejected name obs =
+    match Harness.validate_obs obs with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "%s should have been rejected" name
+  in
+  check_rejected "trace_sample 0"
+    { Harness.no_obs with Harness.trace_sample = 0 };
+  check_rejected "trace_sample negative"
+    { Harness.no_obs with Harness.trace_sample = -3 };
+  check_rejected "occupancy_interval 0"
+    { Harness.no_obs with Harness.occupancy_interval = 0 };
+  check_rejected "heat_top 0" { Harness.no_obs with Harness.heat_top = 0 }
 
 let test_jobs_clamped () =
   let avail = O2_runtime.Domain_pool.default_jobs () in
@@ -203,6 +246,13 @@ let suite =
     Alcotest.test_case "golden rows: figure 4(a) small" `Slow test_golden_fig4a;
     Alcotest.test_case "golden rows: figure 4(b) small" `Slow test_golden_fig4b;
     Alcotest.test_case "golden rows: ablation grid" `Slow test_golden_ablations;
+    Alcotest.test_case "golden rows: figure 4(a) with the observatory" `Slow
+      test_golden_fig4a_observed;
+    Alcotest.test_case "golden rows: figure 4(b) with the observatory" `Slow
+      test_golden_fig4b_observed;
+    Alcotest.test_case "golden rows: ablations with the observatory" `Slow
+      test_golden_ablations_observed;
+    Alcotest.test_case "observability knob validation" `Quick test_validate_obs;
     Alcotest.test_case "run_cells clamps jobs to the core count" `Quick
       test_jobs_clamped;
     Alcotest.test_case "paper claim: CoreTime wins beyond L3" `Slow test_paper_claim_beyond_l3;

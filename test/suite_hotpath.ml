@@ -97,6 +97,47 @@ let test_fat_scan_miss () =
   in
   check_zero_alloc "Fat_dir.find miss (100-entry dir)" words
 
+(* The cache observatory's zero-cost-when-off claim, miss-path edition:
+   with no Machine.observe subscriber the notification sites on the fill,
+   eviction, invalidation and access-source paths are single branches.
+   Stream a working set that fits L2 but not L1 so every post-warmup read
+   is an L1 fill with a victim (on_access + on_fill sites), then ping-pong
+   a line between two cores so every round invalidates a present copy
+   (the on_remove site). *)
+let test_machine_miss_paths_unobserved () =
+  let machine = Machine.create Config.amd16 in
+  let mem = Machine.memory machine in
+  let lines = 2048 (* 128 KB: 2x the 1024-line L1, inside the 8192-line L2 *) in
+  let ext = Memsys.alloc mem ~name:"stream" ~size:(lines * 64) in
+  let base = ext.Memsys.base in
+  Alcotest.(check bool) "no observer installed" false (Machine.observed machine);
+  (* warmup: pull the whole set into L2 *)
+  for i = 0 to lines - 1 do
+    ignore (Machine.read machine ~core:0 ~now:i ~addr:(base + (i * 64)) ~len:8)
+  done;
+  let words =
+    minor_words_during (fun () ->
+        for i = 1 to iters do
+          ignore
+            (Machine.read machine ~core:0 ~now:(lines + i)
+               ~addr:(base + (i mod lines * 64))
+               ~len:8)
+        done)
+  in
+  check_zero_alloc "Machine.read L1 fill+evict, no observer" words;
+  let ping = Memsys.alloc mem ~name:"ping" ~size:64 in
+  let addr = ping.Memsys.base in
+  ignore (Machine.read machine ~core:1 ~now:0 ~addr ~len:8);
+  ignore (Machine.write machine ~core:2 ~now:1 ~addr ~len:8);
+  let words =
+    minor_words_during (fun () ->
+        for i = 1 to iters do
+          ignore (Machine.read machine ~core:1 ~now:(2 * i) ~addr ~len:8);
+          ignore (Machine.write machine ~core:2 ~now:((2 * i) + 1) ~addr ~len:8)
+        done)
+  in
+  check_zero_alloc "coherence invalidation, no observer" words
+
 (* The flight recorder's zero-cost-when-idle claim: producers guard event
    construction with Probe.active, so with no subscriber the whole
    emission path — guard included — allocates nothing. (With a recorder
@@ -159,6 +200,37 @@ let test_rebalancer_quiet_step () =
   Alcotest.(check bool) "table still consistent" true
     (Result.is_ok (Coretime.Object_table.check_accounting table))
 
+(* Decision provenance rides the same guard: a rebalancer built with a
+   probe that nobody subscribed to must not pay for the instrumentation —
+   the [decisions_on] / [Probe.active] checks on the Rebalanced and
+   Decision emission sites are branches, not event constructions. *)
+let test_rebalancer_inactive_probe_step () =
+  let machine = Machine.create Config.amd16 in
+  let cores = Config.cores Config.amd16 in
+  let table = Coretime.Object_table.create ~cores ~budget_per_core:(1 lsl 20) in
+  let objs =
+    Array.init 256 (fun i ->
+        Coretime.Object_table.register table ~base:(0x1000 + (i * 64)) ~size:64
+          ~name:"o" ())
+  in
+  for i = 0 to 63 do
+    Coretime.Object_table.assign table objs.(i) (i mod cores)
+  done;
+  let probe = O2_runtime.Probe.create () in
+  Alcotest.(check bool) "probe inactive" false (O2_runtime.Probe.active probe);
+  let rb =
+    Coretime.Rebalancer.create ~probe Coretime.Policy.default table machine
+  in
+  let period = Coretime.Policy.default.Coretime.Policy.rebalance_period in
+  Coretime.Rebalancer.step rb ~now:period;
+  let words =
+    minor_words_during (fun () ->
+        for i = 2 to iters + 1 do
+          Coretime.Rebalancer.step rb ~now:(i * period)
+        done)
+  in
+  check_zero_alloc "Rebalancer.step with inactive probe" words
+
 let suite =
   [
     Alcotest.test_case "event queue allocates nothing per event" `Quick
@@ -169,8 +241,12 @@ let suite =
       test_machine_write_l1_hit;
     Alcotest.test_case "FAT directory scan allocates nothing on a miss"
       `Quick test_fat_scan_miss;
+    Alcotest.test_case "unobserved miss paths allocate nothing" `Quick
+      test_machine_miss_paths_unobserved;
     Alcotest.test_case "recorder-off probe path allocates nothing" `Quick
       test_probe_inactive_emits_nothing;
     Alcotest.test_case "quiet rebalancer period allocates nothing" `Quick
       test_rebalancer_quiet_step;
+    Alcotest.test_case "inactive-probe rebalancer allocates nothing" `Quick
+      test_rebalancer_inactive_probe_step;
   ]

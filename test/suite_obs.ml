@@ -548,6 +548,267 @@ let test_o2top_render () =
   in
   Alcotest.(check bool) "gauges suppressed" false (contains_ng "core00/")
 
+(* ------------------------------------------------------------------ *)
+(* Hist.merge as a property: merging must be indistinguishable from
+   having fed one histogram the concatenated samples — exact stats and
+   every percentile, not just the counters. *)
+
+let hist_of_list l =
+  let h = Hist.create () in
+  List.iter (Hist.add h) l;
+  h
+
+let same_hist_stats a b =
+  Hist.count a = Hist.count b
+  && Hist.sum a = Hist.sum b
+  && Hist.min_value a = Hist.min_value b
+  && Hist.max_value a = Hist.max_value b
+  && Hist.p50 a = Hist.p50 b
+  && Hist.p90 a = Hist.p90 b
+  && Hist.p99 a = Hist.p99 b
+  && Hist.p999 a = Hist.p999 b
+
+let prop_hist_merge_is_concat =
+  QCheck2.Test.make ~name:"Hist.merge_into = histogram of the concatenation"
+    ~count:300
+    QCheck2.Gen.(
+      pair (list (int_bound 2_000_000)) (list (int_bound 2_000_000)))
+    (fun (xs, ys) ->
+      let merged = hist_of_list xs in
+      Hist.merge_into ~into:merged (hist_of_list ys);
+      same_hist_stats merged (hist_of_list (xs @ ys)))
+
+let test_hist_merge_empty_identity () =
+  let samples = [ 3; 17; 900; 4096 ] in
+  let a = hist_of_list samples in
+  Hist.merge_into ~into:a (Hist.create ());
+  Alcotest.(check bool) "merging an empty histogram changes nothing" true
+    (same_hist_stats a (hist_of_list samples));
+  let b = Hist.create () in
+  Hist.merge_into ~into:b (hist_of_list samples);
+  Alcotest.(check bool) "merging into an empty histogram copies" true
+    (same_hist_stats b (hist_of_list samples))
+
+(* ------------------------------------------------------------------ *)
+(* Trace-export edge cases: the JSON must stay schema-valid when the
+   recorder saw nothing, when it saw memory traffic but no completed op,
+   and when the stream was rebalance instants alone. *)
+
+let parse_or_fail r ?occupancy () =
+  match parse_json (Trace_export.to_string ?occupancy r) with
+  | j -> j
+  | exception Bad_json msg -> Alcotest.failf "invalid JSON: %s" msg
+
+let events_of json =
+  match member "traceEvents" json with
+  | Some (Arr evs) -> evs
+  | _ -> Alcotest.fail "no traceEvents array"
+
+let test_trace_export_empty () =
+  with_recorder (fun r _emit ->
+      let json = parse_or_fail r () in
+      let events = events_of json in
+      Alcotest.(check bool) "no spans in an empty trace" true
+        (List.for_all (fun e -> str_member "ph" e <> Some "X") events);
+      Alcotest.(check bool) "metadata still names the cores" true
+        (List.exists (fun e -> str_member "name" e = Some "thread_name") events);
+      match member "otherData" json with
+      | Some od ->
+          Alcotest.(check (option (float 1e-9))) "zero events retained"
+            (Some 0.0) (num_member "events_retained" od);
+          Alcotest.(check (option (float 1e-9))) "zero spans" (Some 0.0)
+            (num_member "spans_total" od)
+      | None -> Alcotest.fail "no otherData")
+
+let test_trace_export_no_completed_ops () =
+  with_recorder (fun r emit ->
+      for i = 1 to 5 do
+        emit (mem ~time:i)
+      done;
+      (* an op that never ends must not fabricate a span *)
+      emit (Probe.Op_requested { time = 10; core = 0; tid = 1; addr = 0x40 });
+      emit
+        (Probe.Op_started
+           { time = 12; core = 0; tid = 1; addr = 0x40; home = None });
+      let json = parse_or_fail r () in
+      Alcotest.(check bool) "no X spans without Op_ended" true
+        (List.for_all
+           (fun e -> str_member "ph" e <> Some "X")
+           (events_of json));
+      Alcotest.(check int) "span count zero" 0 (Recorder.span_count r))
+
+let test_trace_export_rebalance_only () =
+  with_recorder (fun r emit ->
+      emit (Probe.Rebalanced { time = 1000; moves = 2; demotions = 1 });
+      emit (Probe.Rebalanced { time = 2000; moves = 0; demotions = 0 });
+      let json = parse_or_fail r () in
+      let instants =
+        List.filter
+          (fun e ->
+            str_member "ph" e = Some "i"
+            && str_member "name" e = Some "rebalance")
+          (events_of json)
+      in
+      Alcotest.(check int) "one instant per period" 2 (List.length instants))
+
+(* ------------------------------------------------------------------ *)
+(* The cache observatory on the quickstart run: occupancy mirror audit,
+   heat attribution, decision provenance, and their trace/report faces. *)
+
+let quickstart_observed () =
+  let occ = ref None and heat = ref None and prov = ref None in
+  let result =
+    O2_experiments.Quickstart_exp.execute
+      ~recorder_of:(fun engine -> Recorder.attach engine)
+      ~attach:(fun engine ->
+        occ :=
+          Some
+            (Occupancy.attach ~interval:200_000
+               (O2_runtime.Engine.machine engine));
+        heat := Some (Heat.attach engine);
+        prov := Some (Provenance.attach engine))
+      ~quick:true ()
+  in
+  (result, Option.get !occ, Option.get !heat, Option.get !prov)
+
+let test_occupancy_tracker () =
+  let _result, occ, _heat, _prov = quickstart_observed () in
+  (match Occupancy.check occ with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "occupancy mirror drifted: %s" msg);
+  Alcotest.(check bool) "data still on chip" true (Occupancy.distinct_lines occ > 0);
+  Alcotest.(check bool) "timeline sampled" true (Occupancy.samples occ <> []);
+  List.iter
+    (fun (s : Occupancy.sample) ->
+      Alcotest.(check int) "sample width = cache count"
+        (Occupancy.cache_count occ)
+        (Array.length s.Occupancy.lines))
+    (Occupancy.samples occ);
+  let csv = Occupancy.to_csv occ in
+  Alcotest.(check bool) "heatmap csv header" true
+    (String.length csv >= 24 && String.sub csv 0 24 = "cache,object,name,lines\n");
+  let tl = Occupancy.timeline_csv occ in
+  Alcotest.(check bool) "timeline csv header" true
+    (String.length tl >= 23 && String.sub tl 0 23 = "at,cache,lines,objects\n")
+
+let test_heat_tracker () =
+  let result, _occ, heat, _prov = quickstart_observed () in
+  let rows = Heat.tracked heat in
+  Alcotest.(check bool) "objects tracked" true (rows <> []);
+  Alcotest.(check int) "heat ops sum = completed ops"
+    result.O2_experiments.Quickstart_exp.ops
+    (List.fold_left (fun a r -> a + r.Heat.ops) 0 rows);
+  let churn (r : Heat.row) = r.Heat.remote + r.Heat.dram in
+  let top = Heat.top_k heat 3 in
+  Alcotest.(check bool) "top_k bounded" true (List.length top <= 3);
+  let rec sorted = function
+    | a :: (b :: _ as tl) -> churn a >= churn b && sorted tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "top_k ordered by off-core traffic" true (sorted top);
+  Alcotest.(check int) "nothing unattributed in quickstart" 0
+    (Heat.unattributed heat)
+
+let test_provenance_records () =
+  let result, _occ, _heat, prov = quickstart_observed () in
+  Alcotest.(check bool) "decisions captured" true (Provenance.count prov > 0);
+  Alcotest.(check int) "nothing dropped at this size" 0
+    (Provenance.dropped prov);
+  let promotions =
+    List.filter
+      (fun r ->
+        match r.Provenance.decision with
+        | Probe.Promoted _ -> true
+        | _ -> false)
+      (Provenance.records prov)
+  in
+  Alcotest.(check int) "one Promoted record per simulator promotion"
+    result.O2_experiments.Quickstart_exp.promotions
+    (List.length promotions);
+  let out = Provenance.render prov in
+  let contains sub =
+    let n = String.length out and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub out i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "promotion explained" true (contains "promote");
+  Alcotest.(check bool) "inputs line present" true (contains "inputs:");
+  Alcotest.(check bool) "action line present" true (contains "action:");
+  Alcotest.(check bool) "honest header" true
+    (contains
+       (Printf.sprintf "showing %d of %d decision(s)" (Provenance.count prov)
+          (Provenance.total prov)))
+
+let test_trace_occupancy_tracks () =
+  (* export the run's recorder with the occupancy timeline merged in *)
+  let result, occ2, _heat, _prov = quickstart_observed () in
+  let rec_ = Option.get result.O2_experiments.Quickstart_exp.recorder in
+  let json = parse_or_fail rec_ ~occupancy:occ2 () in
+  let events = events_of json in
+  let counters =
+    List.filter
+      (fun e ->
+        str_member "ph" e = Some "C"
+        &&
+        match str_member "name" e with
+        | Some n -> String.length n >= 4 && String.sub n 0 4 = "occ/"
+        | None -> false)
+      events
+  in
+  Alcotest.(check int) "one counter event per (sample, cache)"
+    (List.length (Occupancy.samples occ2) * Occupancy.cache_count occ2)
+    (List.length counters);
+  List.iter
+    (fun e ->
+      match member "args" e with
+      | Some args ->
+          Alcotest.(check bool) "counter args carry lines and objects" true
+            (num_member "lines" args <> None
+            && num_member "objects" args <> None)
+      | None -> Alcotest.fail "counter without args")
+    counters;
+  let decisions =
+    List.filter
+      (fun e ->
+        str_member "ph" e = Some "i"
+        &&
+        match str_member "name" e with
+        | Some n -> String.length n >= 9 && String.sub n 0 9 = "decision/"
+        | None -> false)
+      events
+  in
+  Alcotest.(check bool) "decision instants exported" true (decisions <> []);
+  match member "otherData" json with
+  | Some od ->
+      Alcotest.(check (option (float 1e-9))) "occupancy sample count surfaced"
+        (Some (float_of_int (List.length (Occupancy.samples occ2))))
+        (num_member "occupancy_samples" od)
+  | None -> Alcotest.fail "no otherData"
+
+let test_o2top_recorder_footer () =
+  let result = quickstart_recorded () in
+  let r = Option.get result.O2_experiments.Quickstart_exp.recorder in
+  let out = O2top.render ~recorder:r (Recorder.metrics r) in
+  let contains sub =
+    let n = String.length out and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub out i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "recorder footer present" true
+    (contains "-- recorder --");
+  Alcotest.(check bool) "event drop accounting" true
+    (contains "dropped by the ring bound");
+  let without = O2top.render (Recorder.metrics r) in
+  let contains_w sub =
+    let n = String.length without and m = String.length sub in
+    let rec go i =
+      i + m <= n && (String.sub without i m = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "footer only with a recorder" false
+    (contains_w "-- recorder --")
+
 let test_ring_bound_drops_spans () =
   with_recorder ~ring_capacity:4 ~span_capacity:1 (fun r emit ->
       for i = 0 to 2 do
@@ -578,6 +839,9 @@ let suite =
     Alcotest.test_case "histogram percentile spread" `Quick
       test_hist_percentile_spread;
     Alcotest.test_case "histogram merge" `Quick test_hist_merge;
+    QCheck_alcotest.to_alcotest prop_hist_merge_is_concat;
+    Alcotest.test_case "histogram merge with empty is identity" `Quick
+      test_hist_merge_empty_identity;
     Alcotest.test_case "metrics registry and merge" `Quick test_metrics_registry;
     Alcotest.test_case "span reconstruction: migrated op" `Quick
       test_span_migrated;
@@ -597,4 +861,19 @@ let suite =
       test_o2top_render;
     Alcotest.test_case "bounded storage drops are accounted" `Quick
       test_ring_bound_drops_spans;
+    Alcotest.test_case "empty trace exports schema-valid JSON" `Quick
+      test_trace_export_empty;
+    Alcotest.test_case "trace with no completed op has no spans" `Quick
+      test_trace_export_no_completed_ops;
+    Alcotest.test_case "rebalance-only trace keeps its instants" `Quick
+      test_trace_export_rebalance_only;
+    Alcotest.test_case "occupancy mirror audits against the caches" `Quick
+      test_occupancy_tracker;
+    Alcotest.test_case "heat attribution matches the simulator" `Quick
+      test_heat_tracker;
+    Alcotest.test_case "decision provenance captures and explains" `Quick
+      test_provenance_records;
+    Alcotest.test_case "occupancy counter tracks in the trace JSON" `Quick
+      test_trace_occupancy_tracks;
+    Alcotest.test_case "o2top recorder footer" `Quick test_o2top_recorder_footer;
   ]
