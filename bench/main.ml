@@ -296,6 +296,16 @@ let test_iter_assigned =
          Coretime.Object_table.iter_assigned table ~core:3 (fun o ->
              acc := !acc + o.Coretime.Object_table.size)))
 
+(* Full o2staticcheck run over the repo's build tree: .cmt discovery,
+   parsing, and all four typedtree passes. Prices the static stage that
+   @lint-source adds to the gate; run from the repo root after a build. *)
+let test_staticcheck =
+  Test.make ~name:"staticcheck/full tree (load + 4 passes)"
+    (Staged.stage (fun () ->
+         match O2_staticcheck.Staticcheck.run ~root:"." () with
+         | Ok r -> assert (r.O2_staticcheck.Staticcheck.findings = [])
+         | Error _ -> ()))
+
 let bechamel_tests =
   [
     test_packing 256;
@@ -316,6 +326,7 @@ let bechamel_tests =
     test_read_hit_observed;
     test_read_stream_observed;
     test_decision_emit;
+    test_staticcheck;
     test_fig4a_cell_with;
     test_fig4a_cell_without;
     test_fig4b_cell;

@@ -2,7 +2,10 @@
 
    Three stages, any diagnostic fails the run (exit 1):
 
-   1. source lint over lib/ and examples/ (banned patterns, missing .mli);
+   1. source lint over lib/ and examples/ (surface idiom, missing .mli)
+      plus the o2staticcheck typedtree passes (allocation manifest,
+      listener effect-freedom, lock discipline, raw primitives) over the
+      build's own .cmt files;
    2. the dynamic checkers (lockset race detector, lock-order graph, O2
       invariants) over a quickstart-shaped workload: annotated operations
       on shared tables plus a lock-protected shared counter;
@@ -127,7 +130,18 @@ let run_lint root skip_source skip_dynamic =
       (fun d -> Format.printf "%a@." O2_analysis.Diagnostic.pp d)
       diags;
     if diags = [] then print_endline "source tree: clean";
-    issues := !issues + List.length diags
+    issues := !issues + List.length diags;
+    banner "static passes (typedtree: alloc / effect / lock / raw)";
+    (match O2_staticcheck.Staticcheck.run ~root () with
+    | Error e ->
+        (* Tolerated: a source-only checkout has no cmts. The dedicated
+           @lint-source rule depends on @check, so in CI this branch is
+           never taken silently. *)
+        Printf.printf "static passes: skipped (%s)\n" e
+    | Ok r ->
+        Format.printf "%a" O2_staticcheck.Staticcheck.pp_report r;
+        issues :=
+          !issues + List.length r.O2_staticcheck.Staticcheck.findings)
   end;
   if not skip_dynamic then begin
     banner "dynamic checks: quickstart workload";

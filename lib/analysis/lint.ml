@@ -1,10 +1,21 @@
-(* Replace comments (nested) and string literals with spaces, preserving
-   newlines so reported line numbers stay correct. A full lexer is not
-   needed: we only have to avoid false matches inside prose. *)
+(* Replace comments (nested), string literals (including [{|...|}] quoted
+   strings), and char literals with spaces, preserving newlines so
+   reported line numbers stay correct. A full lexer is not needed: we
+   only have to avoid false matches inside prose.
+
+   Char literals matter even though no rule matches a single character:
+   ['"'] would otherwise open "string mode" and swallow code up to the
+   next real quote, hiding everything in between from the rules. *)
 let strip source =
   let n = String.length source in
   let out = Bytes.of_string source in
   let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let blank_range i j =
+    for k = i to min j (n - 1) do
+      blank k
+    done
+  in
+  let is_quoted_id_char = function 'a' .. 'z' | '_' -> true | _ -> false in
   let rec code i =
     if i >= n then ()
     else if i + 1 < n && source.[i] = '(' && source.[i + 1] = '*' then begin
@@ -15,6 +26,39 @@ let strip source =
     else if source.[i] = '"' then begin
       blank i;
       string (i + 1)
+    end
+    else if
+      source.[i] = '\''
+      && (i = 0 || not (is_ident_char source.[i - 1]))
+      && i + 2 < n
+    then begin
+      (* ['x'] / ['\n'] / ['\123'] / ['\xFF'] — but not type variables
+         (['a]) or primed identifiers ([x']) *)
+      if source.[i + 1] <> '\\' && source.[i + 2] = '\'' then begin
+        blank_range i (i + 2);
+        code (i + 3)
+      end
+      else if source.[i + 1] = '\\' then begin
+        match String.index_from_opt source (i + 2) '\'' with
+        | Some close when close - i <= 6 ->
+            blank_range i close;
+            code (close + 1)
+        | _ -> code (i + 1)
+      end
+      else code (i + 1)
+    end
+    else if source.[i] = '{' then begin
+      (* quoted string literal [{|...|}] or [{id|...|id}] *)
+      let rec ident_end j =
+        if j < n && is_quoted_id_char source.[j] then ident_end (j + 1) else j
+      in
+      let j = ident_end (i + 1) in
+      if j < n && source.[j] = '|' then begin
+        let delim = String.sub source (i + 1) (j - i - 1) in
+        blank_range i j;
+        quoted delim (j + 1)
+      end
+      else code (i + 1)
     end
     else code (i + 1)
   and comment i depth =
@@ -48,6 +92,25 @@ let strip source =
       blank i;
       string (i + 1)
     end
+  and quoted delim i =
+    if i >= n then ()
+    else if
+      source.[i] = '|'
+      && i + String.length delim + 1 < n
+      && String.sub source (i + 1) (String.length delim) = delim
+      && source.[i + 1 + String.length delim] = '}'
+    then begin
+      let close = i + 1 + String.length delim in
+      blank_range i close;
+      code (close + 1)
+    end
+    else begin
+      blank i;
+      quoted delim (i + 1)
+    end
+  and is_ident_char = function
+    | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '\'' -> true
+    | _ -> false
   in
   code 0;
   Bytes.to_string out
@@ -55,19 +118,6 @@ let strip source =
 let is_ident_char = function
   | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '\'' -> true
   | _ -> false
-
-(* Occurrences of [pat] in [line] that start at an identifier boundary,
-   so e.g. "My_Mutex." does not match "Mutex.". *)
-let contains_token line pat =
-  let n = String.length line and m = String.length pat in
-  let rec go i =
-    if i + m > n then false
-    else if
-      String.sub line i m = pat && (i = 0 || not (is_ident_char line.[i - 1]))
-    then true
-    else go (i + 1)
-  in
-  go 0
 
 (* [ignore (Api.lock ...)] possibly with extra spaces. *)
 let ignored_result_re line callee =
@@ -98,81 +148,19 @@ let mk ~path ~lineno ~code message =
   Diagnostic.make ~checker:"lint" ~code ~subject:path
     (Printf.sprintf "%s:%d: %s" path lineno message)
 
-(* The one module allowed to name the real concurrency primitives: the
-   domain pool wraps them for everyone else (experiment sweeps go through
-   Domain_pool.map, never Domain.spawn). This used to exempt all of
-   lib/runtime/ wholesale; the allowlist is deliberately a single file so
-   a stray Domain.spawn in the engine is caught too. *)
-let raw_primitive_allowlist = [ "lib/runtime/domain_pool.ml" ]
+(* The banned-pattern rules that used to live here as token matches —
+   obs-effect, obj-magic, raw-mutex/raw-domain — moved to o2staticcheck's
+   typedtree passes, which see resolved paths instead of source text.
+   What remains below is exactly what needs the raw source: surface idiom
+   (ignored-result) and file layout (missing-mli). *)
 
-let path_allows_raw path =
-  List.exists
-    (fun allowed ->
-      path = allowed || Filename.check_suffix path ("/" ^ allowed))
-    raw_primitive_allowlist
-
-(* lib/obs must only observe: its listeners run synchronously inside
-   Probe.emit, on the simulation's own stack, so performing an effect
-   through Api or driving the engine (spawn/run/at/every/finalize_idle)
-   from there would corrupt the run it is recording. Reading engine state
-   (Engine.probe, Engine.machine, Engine.now, ...) is fine. *)
-let obs_banned_tokens =
-  [
-    "Api.";
-    "Engine.spawn";
-    "Engine.run";
-    "Engine.at";
-    "Engine.every";
-    "Engine.finalize_idle";
-    "Probe.emit";
-  ]
-
-let path_is_obs path =
-  let norm = String.concat "/" (String.split_on_char '\\' path) in
-  let rec has_sub s sub i =
-    let n = String.length s and m = String.length sub in
-    i + m <= n && (String.sub s i m = sub || has_sub s sub (i + 1))
-  in
-  has_sub norm "lib/obs/" 0
-
-let scan_string ~path ?allow_raw_primitives contents =
-  let allow_raw =
-    match allow_raw_primitives with
-    | Some b -> b
-    | None -> path_allows_raw path
-  in
-  let obs_purity = path_is_obs path in
+let scan_string ~path contents =
   let diags = ref [] in
   let add d = diags := d :: !diags in
   let lines = String.split_on_char '\n' (strip contents) in
   List.iteri
     (fun i line ->
       let lineno = i + 1 in
-      if obs_purity then
-        List.iter
-          (fun tok ->
-            if contains_token line tok then
-              add
-                (mk ~path ~lineno ~code:"obs-effect"
-                   (Printf.sprintf
-                      "%s in lib/obs: observers must not perform effects or \
-                       drive the engine (they run inside Probe.emit)"
-                      tok)))
-          obs_banned_tokens;
-      if contains_token line "Obj.magic" then
-        add
-          (mk ~path ~lineno ~code:"obj-magic"
-             "Obj.magic is banned (defeats the type system)");
-      if (not allow_raw) && contains_token line "Mutex." then
-        add
-          (mk ~path ~lineno ~code:"raw-mutex"
-             "raw Mutex use outside lib/runtime/ (use the engine's Spinlock \
-              through Api.lock/unlock)");
-      if (not allow_raw) && contains_token line "Domain." then
-        add
-          (mk ~path ~lineno ~code:"raw-domain"
-             "raw Domain use outside lib/runtime/ (spawn simulated threads \
-              with Engine.spawn)");
       List.iter
         (fun callee ->
           if ignored_result_re line callee then

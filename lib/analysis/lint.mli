@@ -1,34 +1,30 @@
-(** Source lint: scans the repository's OCaml sources for patterns banned
-    in this codebase. Comments and string literals are stripped before
-    matching, so prose mentioning a banned construct is not flagged.
+(** Source lint: the few checks that genuinely need raw source text.
+    Comments, string literals (including [{|...|}] quoted strings), and
+    char literals are stripped before matching, so prose mentioning a
+    banned construct is not flagged.
 
     Rules (each a diagnostic [code]):
 
-    - [obj-magic] — [Obj.magic] defeats the type system; never needed in
-      a simulator.
-    - [raw-mutex] / [raw-domain] — [Mutex]/[Domain] primitives anywhere
-      except the explicit allowlist (only [lib/runtime/domain_pool.ml],
-      the module that wraps them): all simulated concurrency must flow
-      through the deterministic engine, and all host parallelism through
-      the domain pool, or runs stop being reproducible.
     - [ignored-result] — [ignore (Api.lock ...)], [ignore (Api.unlock ...)]
       or [ignore (Engine.run ...)]: these return [unit]; wrapping them in
       [ignore] suggests the author expected (and discarded) a result such
       as an acquisition status.
     - [missing-mli] — a [lib/] module without an interface file
       ([*_intf.ml] module-type-only files are exempt).
-    - [obs-effect] — [lib/obs/] sources naming [Api.] or an
-      engine-driving call ([Engine.spawn]/[run]/[at]/[every]/
-      [finalize_idle]) or [Probe.emit]: observability listeners run
-      synchronously inside [Probe.emit] on the simulation's stack, so
-      they must read state only — an effect or a recursive emit there
-      would corrupt the run being recorded. *)
 
-val scan_string : path:string -> ?allow_raw_primitives:bool -> string ->
-  Diagnostic.t list
-(** Scan one file's contents. [path] is used for reporting and for the
-    raw-primitive allowlist ([allow_raw_primitives] overrides it in
-    tests). Does not apply [missing-mli] (a directory-level rule). *)
+    The banned-pattern rules that used to live here ([obs-effect],
+    [obj-magic], [raw-mutex]/[raw-domain]) are now typedtree passes in
+    {!O2_staticcheck}: they match resolved paths from the compiler's own
+    .cmt output, so aliases and [open]s cannot evade them and prose
+    cannot trip them. *)
+
+val strip : string -> string
+(** Blank out comments, strings, and char literals, preserving newlines
+    and character positions. Exposed for tests. *)
+
+val scan_string : path:string -> string -> Diagnostic.t list
+(** Scan one file's contents. [path] is used for reporting. Does not
+    apply [missing-mli] (a directory-level rule). *)
 
 val scan_tree : root:string -> Diagnostic.t list
 (** Scan [root/lib] and [root/examples] recursively: every [.ml]/[.mli]

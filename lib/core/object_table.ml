@@ -168,10 +168,13 @@ let rec iter_links f = function
 
 let iter_assigned t ~core f = iter_links f t.heads.(core)
 
-let fold_assigned t ~core f init =
-  let acc = ref init in
-  iter_assigned t ~core (fun o -> acc := f !acc o);
-  !acc
+let rec fold_links f acc = function
+  | None -> acc
+  | Some o ->
+      let next = o.link_next in
+      fold_links f (f acc o) next
+
+let fold_assigned t ~core f init = fold_links f init t.heads.(core)
 
 let assigned t ~core =
   (* per-core list order is newest-assignment-first; re-sorting by
@@ -188,7 +191,7 @@ let note_op t o =
   if not o.in_active then begin
     o.in_active <- true;
     o.active_next <- t.active_head;
-    t.active_head <- Some o;
+    t.active_head <- ((Some o) [@alloc_ok "one option cell per first-op-of-period"]);
     t.active_n <- t.active_n + 1
   end
 

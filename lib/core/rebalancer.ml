@@ -435,10 +435,11 @@ let step t ~now =
   match t.probe with
   | Some p when O2_runtime.Probe.active p ->
       O2_runtime.Probe.emit p
-        (O2_runtime.Probe.Rebalanced
-           {
-             time = now;
-             moves = t.stats_.moves - moves0;
-             demotions = t.stats_.demotions - demotions0;
-           })
+        ((O2_runtime.Probe.Rebalanced
+            {
+              time = now;
+              moves = t.stats_.moves - moves0;
+              demotions = t.stats_.demotions - demotions0;
+            })
+        [@alloc_ok "guarded by Probe.active: allocates only when observed"])
   | Some _ | None -> ()

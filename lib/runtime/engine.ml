@@ -404,7 +404,9 @@ let step t time ev =
 let run ?until ?stop_when t =
   let stop = match stop_when with Some f -> f | None -> fun () -> false in
   let horizon = match until with Some u -> u | None -> max_int in
-  let continue_ = ref true in
+  let continue_ =
+    ((ref true) [@alloc_ok "one cell per run call, not per event"])
+  in
   while !continue_ do
     if t.nondaemon_pending = 0 then
       (* Only recurring monitors remain: the simulated program has

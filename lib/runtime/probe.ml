@@ -114,4 +114,14 @@ type t = { mutable listeners : (event -> unit) list }
 let create () = { listeners = [] }
 let subscribe t f = t.listeners <- f :: t.listeners
 let active t = t.listeners <> []
-let emit t ev = List.iter (fun f -> f ev) t.listeners
+
+(* Hand-rolled iteration: [List.iter (fun f -> f ev)] would build a fresh
+   closure capturing [ev] on every emit, and call sites only guard emits
+   with [active] — the emitting path itself must stay allocation-free. *)
+let rec notify ev = function
+  | [] -> ()
+  | f :: rest ->
+      f ev;
+      notify ev rest
+
+let emit t ev = notify ev t.listeners

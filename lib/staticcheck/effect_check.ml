@@ -1,0 +1,221 @@
+(* Effect-freedom pass for observability listeners.
+
+   Every listener registered under lib/obs — via [Probe.subscribe] or a
+   [Machine.observe] observer record — must be effect-free with respect
+   to the simulation: no runtime API calls, no probe re-emission, no
+   I/O, no raising, and no mutation of non-local state. "Non-local"
+   means rooted at another module ([Pdot]) or at this module's own top
+   level; mutation through a parameter (the listener's own accumulator
+   state, threaded explicitly) is the whole point of a recorder and is
+   allowed.
+
+   Resolution is transitive within the module: a listener that is a
+   partial application of a top-level function pulls that function's
+   body (and anything top-level it references) into the scanned set. *)
+
+open Typedtree
+
+let io_printf = [ "printf"; "eprintf"; "fprintf"; "kfprintf"; "ifprintf" ]
+
+let io_stdlib =
+  [ "print_endline"; "print_string"; "print_newline"; "print_int";
+    "print_char"; "print_float"; "prerr_endline"; "prerr_string";
+    "prerr_newline"; "output_string"; "output_char"; "output_bytes" ]
+
+let engine_scheduling = [ "spawn"; "run"; "at"; "every"; "finalize_idle" ]
+
+(* Classify a called path as a banned effect. *)
+let banned_call p =
+  if Expr_scan.is_raising_path p then
+    Some ("effect-raise", "raises (listeners must not throw into the engine)")
+  else
+    match List.rev (Cmt_load.path_components p) with
+    | fn :: m :: _ ->
+        if m = "Api" then
+          Some ("effect-api", Printf.sprintf "calls Api.%s from a listener" fn)
+        else if m = "Engine" && List.mem fn engine_scheduling then
+          Some
+            ( "effect-engine",
+              Printf.sprintf "calls Engine.%s from a listener" fn )
+        else if m = "Probe" && fn = "emit" then
+          Some ("effect-emit", "re-emits probe events from a listener")
+        else if (m = "Printf" || m = "Format") && List.mem fn io_printf then
+          Some ("effect-io", Printf.sprintf "performs I/O via %s.%s" m fn)
+        else if m = "Stdlib" && List.mem fn io_stdlib then
+          Some ("effect-io", Printf.sprintf "performs I/O via %s" fn)
+        else if m = "Unix" then
+          Some ("effect-io", Printf.sprintf "calls Unix.%s from a listener" fn)
+        else None
+    | [ fn ] ->
+        if List.mem fn io_stdlib then
+          Some ("effect-io", Printf.sprintf "performs I/O via %s" fn)
+        else None
+    | [] -> None
+
+(* Root identifier of an lvalue: walk field projections and array/bytes
+   reads back to the base. [None] (an unrecognized shape) is treated as
+   local, biasing toward no false positives. *)
+let rec mutation_root (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Some p
+  | Texp_field (b, _, _) -> mutation_root b
+  | Texp_apply (f, args) -> (
+      match f.exp_desc with
+      | Texp_ident (_, _, vd) -> (
+          match Expr_scan.prim_name vd with
+          | Some
+              ( "%array_safe_get" | "%array_unsafe_get" | "%string_safe_get"
+              | "%string_unsafe_get" | "%bytes_safe_get" | "%bytes_unsafe_get"
+              | "%field0" | "%field1" ) -> (
+              match args with
+              | (_, Some a) :: _ -> mutation_root a
+              | _ -> None)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let set_prims =
+  [ "%array_safe_set"; "%array_unsafe_set"; "%bytes_safe_set";
+    "%bytes_unsafe_set"; "%setfield0" ]
+
+(* Collect registered listeners: (origin description, expression). *)
+let listeners (m : Cmt_load.module_info) =
+  let acc = ref [] in
+  let expr sub (e : expression) =
+    (match e.exp_desc with
+    | Texp_apply (f, args) -> (
+        match Expr_scan.callee_path f with
+        | Some p when Cmt_load.path_is ~modname:"Probe" ~fn:"subscribe" p -> (
+            let plain =
+              List.filter_map
+                (fun (l, a) ->
+                  match (l, a) with
+                  | Asttypes.Nolabel, Some a -> Some a
+                  | _ -> None)
+                args
+            in
+            match List.rev plain with
+            | l :: _ -> acc := ("Probe.subscribe listener", l) :: !acc
+            | [] -> ())
+        | Some p when Cmt_load.path_is ~modname:"Machine" ~fn:"observe" p ->
+            List.iter
+              (fun (_, a) ->
+                match a with
+                | Some { exp_desc = Texp_record { fields; _ }; _ } ->
+                    Array.iter
+                      (fun (ld, defn) ->
+                        match defn with
+                        | Overridden (_, fe) ->
+                            acc :=
+                              ( "Machine.observe " ^ ld.Types.lbl_name, fe )
+                              :: !acc
+                        | Kept _ -> ())
+                      fields
+                | _ -> ())
+              args
+        | _ -> ())
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let iter = { Tast_iterator.default_iterator with expr } in
+  iter.structure iter m.Cmt_load.structure;
+  List.rev !acc
+
+let analyze (m : Cmt_load.module_info) ~bindings ~tops (origin, expr0) =
+  let out = ref [] in
+  let add ~code ~line msg =
+    out :=
+      Finding.make ~pass:"effect" ~code ~file:m.Cmt_load.source ~line
+        ~func:origin msg
+      :: !out
+  in
+  let visited = Hashtbl.create 8 in
+  let pending = Queue.create () in
+  Queue.add expr0 pending;
+  let enqueue name =
+    if not (Hashtbl.mem visited name) then begin
+      Hashtbl.add visited name ();
+      match Hashtbl.find_opt bindings name with
+      | Some vb -> Queue.add vb.vb_expr pending
+      | None -> ()
+    end
+  in
+  let expr sub (e : expression) =
+    (match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _)
+      when Hashtbl.mem tops (Ident.unique_name id) ->
+        enqueue (Ident.name id)
+    | Texp_apply (f, args) -> (
+        match Expr_scan.callee_path f with
+        | Some p -> (
+            match banned_call p with
+            | Some (code, msg) -> add ~code ~line:(Expr_scan.loc_line e) msg
+            | None -> (
+                (* mutation through a set primitive *)
+                match f.exp_desc with
+                | Texp_ident (_, _, vd) -> (
+                    match Expr_scan.prim_name vd with
+                    | Some pn when List.mem pn set_prims -> (
+                        match args with
+                        | (_, Some target) :: _ -> (
+                            match mutation_root target with
+                            | Some (Path.Pdot _ as root) ->
+                                add ~code:"effect-mutation"
+                                  ~line:(Expr_scan.loc_line e)
+                                  (Printf.sprintf
+                                     "mutates non-local state %s"
+                                     (Cmt_load.path_name root))
+                            | Some (Path.Pident id)
+                              when Hashtbl.mem tops (Ident.unique_name id) ->
+                                add ~code:"effect-mutation"
+                                  ~line:(Expr_scan.loc_line e)
+                                  (Printf.sprintf
+                                     "mutates module-level state %s"
+                                     (Ident.name id))
+                            | _ -> ())
+                        | _ -> ())
+                    | _ -> ())
+                | _ -> ()))
+        | None -> ())
+    | Texp_setfield (target, _, ld, _) -> (
+        match mutation_root target with
+        | Some (Path.Pdot _ as root) ->
+            add ~code:"effect-mutation" ~line:(Expr_scan.loc_line e)
+              (Printf.sprintf "mutates non-local field %s.%s"
+                 (Cmt_load.path_name root) ld.Types.lbl_name)
+        | Some (Path.Pident id) when Hashtbl.mem tops (Ident.unique_name id)
+          ->
+            add ~code:"effect-mutation" ~line:(Expr_scan.loc_line e)
+              (Printf.sprintf "mutates module-level field %s.%s"
+                 (Ident.name id) ld.Types.lbl_name)
+        | _ -> ())
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let iter = { Tast_iterator.default_iterator with expr } in
+  while not (Queue.is_empty pending) do
+    iter.expr iter (Queue.pop pending)
+  done;
+  !out
+
+let check_module (m : Cmt_load.module_info) =
+  match listeners m with
+  | [] -> []
+  | ls ->
+      let bindings = Cmt_load.top_bindings m.Cmt_load.structure in
+      let tops = Cmt_load.top_ident_stamps m.Cmt_load.structure in
+      List.sort Finding.compare
+        (List.concat_map (analyze m ~bindings ~tops) ls)
+
+(* Restricted to lib/obs: those are the modules whose listeners ride on
+   the engine's probe stream; test fixtures call [check_module]
+   directly. *)
+let check mods =
+  List.sort Finding.compare
+    (List.concat_map
+       (fun (m : Cmt_load.module_info) ->
+         let src = m.Cmt_load.source in
+         if String.length src >= 8 && String.sub src 0 8 = "lib/obs/" then
+           check_module m
+         else [])
+       mods)

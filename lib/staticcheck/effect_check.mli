@@ -1,0 +1,17 @@
+(** Effect-freedom pass for observability listeners.
+
+    Listeners registered with [Probe.subscribe] or [Machine.observe] must
+    not call the runtime API, schedule engine work, re-emit probe events,
+    perform I/O, raise, or mutate state that is not reachable from their
+    own parameters. Same-module top-level helpers are resolved
+    transitively. *)
+
+val listeners : Cmt_load.module_info -> (string * Typedtree.expression) list
+(** Registered listeners found in a module, with a human-readable origin
+    label per registration site. *)
+
+val check_module : Cmt_load.module_info -> Finding.t list
+(** Check every listener registered anywhere in one module. *)
+
+val check : Cmt_load.module_info list -> Finding.t list
+(** Check all [lib/obs/] modules in the tree. *)

@@ -1,0 +1,221 @@
+(* Lock-discipline pass: an abstract interpretation over each function
+   body computing the set of possible spinlock depths at every program
+   point. [Api.lock] is +1, [Api.unlock] is -1, branches union, raising
+   paths vanish, loop bodies must preserve depth, and every normal exit
+   must be back at depth 0. While any possible depth is positive, calls
+   that surrender the core and constructs that allocate are flagged —
+   [Api.read]/[Api.write]/[Api.compute] are deliberately permitted, since
+   charging simulated memory traffic under a held lock is the modeled
+   behaviour (the paper's locked directory scan).
+
+   Nested [fun]s are analyzed as fresh contexts at depth 0: the
+   discipline is per-function, which matches how the workloads wrap
+   locked regions in [Coretime.with_op] thunks. This is the static
+   complement of the dynamic lock-order graph in [O2_analysis.Lockdep]:
+   that catches cross-lock cycles at runtime, this catches unbalanced or
+   hostile critical sections before anything runs. *)
+
+open Typedtree
+module ISet = Set.Make (Int)
+
+type ctx = {
+  file : string;
+  func : string;
+  tops : (string, unit) Hashtbl.t;
+  out : Finding.t list ref;
+  pending : expression Queue.t;  (* nested lambdas, analyzed at depth 0 *)
+}
+
+let add ctx ~code ~line msg =
+  ctx.out :=
+    Finding.make ~pass:"lock" ~code ~file:ctx.file ~line ~func:ctx.func msg
+    :: !(ctx.out)
+
+let is_lock p = Cmt_load.path_is ~modname:"Api" ~fn:"lock" p
+let is_unlock p = Cmt_load.path_is ~modname:"Api" ~fn:"unlock" p
+let held d = ISet.exists (fun x -> x > 0) d
+
+(* [ok] carries an enclosing [@alloc_ok]: it silences the
+   allocation-under-lock judgement for the subtree, never the depth
+   tracking. *)
+let rec eval ctx ~ok (d : ISet.t) (e : expression) : ISet.t =
+  if ISet.is_empty d then d
+  else begin
+    let ok = ok || Cmt_load.has_attr "alloc_ok" e.exp_attributes in
+    (if held d && not ok then
+       match Expr_scan.alloc_of_node ~top_idents:ctx.tops e with
+       | Some (_, what) ->
+           add ctx ~code:"lock-alloc" ~line:(Expr_scan.loc_line e)
+             (what ^ " while spinlock held")
+       | None -> ());
+    match e.exp_desc with
+    | Texp_apply (f, args) -> (
+        match Expr_scan.callee_path f with
+        | Some p when is_lock p ->
+            let d = eval_args ctx ~ok d args in
+            ISet.map (fun x -> x + 1) d
+        | Some p when is_unlock p ->
+            let d = eval_args ctx ~ok d args in
+            if ISet.exists (fun x -> x <= 0) d then
+              add ctx ~code:"lock-underflow" ~line:(Expr_scan.loc_line e)
+                "Api.unlock without a matching Api.lock on some path";
+            ISet.map (fun x -> max 0 (x - 1)) d
+        | Some p when Expr_scan.is_raising_path p ->
+            ignore (eval_args ctx ~ok d args);
+            ISet.empty
+        | Some p ->
+            let d = eval_args ctx ~ok d args in
+            if held d && Expr_scan.is_blocking_call p then
+              add ctx ~code:"lock-blocking" ~line:(Expr_scan.loc_line e)
+                (Printf.sprintf "%s may block while spinlock held"
+                   (Cmt_load.path_tail ~k:2 p));
+            d
+        | None ->
+            let d = eval ctx ~ok d f in
+            eval_args ctx ~ok d args)
+    | Texp_sequence (a, b) -> eval ctx ~ok (eval ctx ~ok d a) b
+    | Texp_let (_, vbs, body) ->
+        let d =
+          List.fold_left (fun d vb -> eval ctx ~ok d vb.vb_expr) d vbs
+        in
+        eval ctx ~ok d body
+    | Texp_ifthenelse (c, t, fo) ->
+        let d = eval ctx ~ok d c in
+        let dt = eval ctx ~ok d t in
+        let df = match fo with Some f -> eval ctx ~ok d f | None -> d in
+        ISet.union dt df
+    | Texp_match (scrut, cases, _) ->
+        let d = eval ctx ~ok d scrut in
+        List.fold_left
+          (fun acc c ->
+            let d =
+              match c.c_guard with Some g -> eval ctx ~ok d g | None -> d
+            in
+            ISet.union acc (eval ctx ~ok d c.c_rhs))
+          ISet.empty cases
+    | Texp_try (b, cases) ->
+        let db = eval ctx ~ok d b in
+        List.fold_left
+          (fun acc c -> ISet.union acc (eval ctx ~ok d c.c_rhs))
+          db cases
+    | Texp_while (cond, body) ->
+        let d = eval ctx ~ok d cond in
+        let db = eval ctx ~ok d body in
+        if not (ISet.is_empty db || ISet.subset db d) then
+          add ctx ~code:"lock-loop" ~line:(Expr_scan.loc_line e)
+            "loop body changes spinlock depth";
+        d
+    | Texp_for (_, _, lo, hi, _, body) ->
+        let d = eval ctx ~ok d lo in
+        let d = eval ctx ~ok d hi in
+        let db = eval ctx ~ok d body in
+        if not (ISet.is_empty db || ISet.subset db d) then
+          add ctx ~code:"lock-loop" ~line:(Expr_scan.loc_line e)
+            "loop body changes spinlock depth";
+        d
+    | Texp_function _ ->
+        Queue.add e ctx.pending;
+        d
+    | Texp_construct (_, _, args) | Texp_tuple args | Texp_array args ->
+        List.fold_left (eval ctx ~ok) d args
+    | Texp_variant (_, Some a) -> eval ctx ~ok d a
+    | Texp_record { fields; extended_expression; _ } ->
+        let d =
+          match extended_expression with
+          | Some base -> eval ctx ~ok d base
+          | None -> d
+        in
+        Array.fold_left
+          (fun d (_, defn) ->
+            match defn with
+            | Overridden (_, fe) -> eval ctx ~ok d fe
+            | Kept _ -> d)
+          d fields
+    | Texp_field (b, _, _) -> eval ctx ~ok d b
+    | Texp_setfield (a, _, _, v) -> eval ctx ~ok (eval ctx ~ok d a) v
+    | Texp_assert (a, _) -> eval ctx ~ok d a
+    | Texp_lazy _ -> d (* suspension does not run here *)
+    | Texp_ident _ | Texp_constant _ | Texp_variant (_, None)
+    | Texp_unreachable ->
+        d
+    | _ ->
+        (* Structurally opaque node (first-class modules, objects, ...):
+           scan the subtree for allocation/blocking at the current depth
+           and assume it leaves the depth unchanged. *)
+        opaque ctx ~ok d e;
+        d
+  end
+
+and eval_args ctx ~ok d args =
+  List.fold_left
+    (fun d (_, a) -> match a with Some a -> eval ctx ~ok d a | None -> d)
+    d args
+
+and opaque ctx ~ok d root =
+  if held d then begin
+    let expr sub (e : expression) =
+      let ok = ok || Cmt_load.has_attr "alloc_ok" e.exp_attributes in
+      if not ok then begin
+        (match Expr_scan.alloc_of_node ~top_idents:ctx.tops e with
+        | Some (_, what) ->
+            add ctx ~code:"lock-alloc" ~line:(Expr_scan.loc_line e)
+              (what ^ " while spinlock held")
+        | None -> ());
+        (match e.exp_desc with
+        | Texp_apply (f, _) -> (
+            match Expr_scan.callee_path f with
+            | Some p when Expr_scan.is_blocking_call p ->
+                add ctx ~code:"lock-blocking" ~line:(Expr_scan.loc_line e)
+                  (Printf.sprintf "%s may block while spinlock held"
+                     (Cmt_load.path_tail ~k:2 p))
+            | _ -> ());
+        | _ -> ());
+        Tast_iterator.default_iterator.expr sub e
+      end
+    in
+    let iter = { Tast_iterator.default_iterator with expr } in
+    iter.expr iter root
+  end
+
+(* Unwrap a [fun] chain and require every normal exit at depth 0. *)
+let rec run_ctx ctx (e : expression) =
+  match e.exp_desc with
+  | Texp_function { cases; _ } -> List.iter (fun c -> run_ctx ctx c.c_rhs) cases
+  | _ ->
+      let final = eval ctx ~ok:false (ISet.singleton 0) e in
+      if held final then
+        add ctx ~code:"lock-leak" ~line:(Expr_scan.loc_line e)
+          "some path exits with the spinlock still held"
+
+let check_module (m : Cmt_load.module_info) =
+  let tops = Cmt_load.top_ident_stamps m.Cmt_load.structure in
+  let out = ref [] in
+  List.iter
+    (fun item ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              let name =
+                match vb.vb_pat.pat_desc with
+                | Tpat_var (id, _) -> Ident.name id
+                | _ -> "<pattern>"
+              in
+              let file =
+                let f = Expr_scan.loc_file vb.vb_expr in
+                if f = "" then m.Cmt_load.source else f
+              in
+              let ctx =
+                { file; func = name; tops; out; pending = Queue.create () }
+              in
+              Queue.add vb.vb_expr ctx.pending;
+              while not (Queue.is_empty ctx.pending) do
+                run_ctx ctx (Queue.pop ctx.pending)
+              done)
+            vbs
+      | _ -> ())
+    m.Cmt_load.structure.str_items;
+  List.sort Finding.compare !out
+
+let check mods =
+  List.sort Finding.compare (List.concat_map check_module mods)

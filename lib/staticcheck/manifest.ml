@@ -1,0 +1,62 @@
+(* The hot-path manifest: functions whose bodies must not allocate. These
+   are exactly the paths the Gc.minor_words probes in test/suite_hotpath.ml
+   pin dynamically — the static pass checks every line of them, not just
+   the call sites a probe happens to drive.
+
+   The check is intraprocedural: a manifest function may call helpers
+   (growth paths, raise paths) that allocate; what it may not do is
+   construct blocks, capture closures, or build partial applications in
+   its own body without an explicit [@alloc_ok "reason"] escape hatch. *)
+
+type entry = { module_ : string; functions : string list }
+
+let default =
+  [
+    (* innermost engine loop: three-parallel-array heap *)
+    { module_ = "Event_queue";
+      functions =
+        [ "before"; "swap"; "sift_up"; "sift_down"; "push"; "min_time";
+          "pop_min"; "length"; "is_empty" ] };
+    (* the event loop around min_time/pop_min *)
+    { module_ = "Engine"; functions = [ "run" ] };
+    (* cache fill/evict int protocol *)
+    { module_ = "Cache";
+      functions = [ "probe"; "fill_evict"; "invalidate"; "drop"; "notify_remove" ] };
+    { module_ = "Lru";
+      functions =
+        [ "probe_from"; "probe"; "find_slot"; "mem"; "touch"; "unlink";
+          "push_front"; "install"; "add_evict"; "remove"; "backward_shift";
+          "table_delete_at"; "table_remove" ] };
+    (* presence masks on the miss path of every simulated load *)
+    { module_ = "Presence";
+      functions =
+        [ "probe_from"; "probe"; "insert_masks"; "set_core"; "set_chip";
+          "clear_core"; "clear_chip"; "core_holders"; "chip_holders";
+          "cached_anywhere"; "bit_index"; "nearest_core_loop";
+          "nearest_core_holder"; "nearest_chip_loop"; "nearest_chip_holder";
+          "delete_at"; "backward_shift" ] };
+    (* FAT scan kernel: in-place 8.3 compare + packed scan + chain step *)
+    { module_ = "Fat_types";
+      functions = [ "is_end"; "is_deleted"; "name_eq_from"; "name_matches" ] };
+    { module_ = "Fat_dir"; functions = [ "scan_slots"; "scan_cluster" ] };
+    { module_ = "Fat_image"; functions = [ "next_cluster" ] };
+    (* monitor indexes: O(active set) iteration and accounting *)
+    { module_ = "Object_table";
+      functions =
+        [ "iter_links"; "iter_assigned"; "fold_links"; "fold_assigned";
+          "note_op"; "iter_active_links"; "iter_active"; "drain_links";
+          "drain_active"; "fits"; "assigned_count"; "active_count" ] };
+    (* quiet monitor period *)
+    { module_ = "Rebalancer";
+      functions = [ "step"; "demotion_pressure"; "decisions_on" ] };
+    (* recorder-off probe emission *)
+    { module_ = "Probe"; functions = [ "emit"; "notify"; "active" ] };
+  ]
+
+let functions_for manifest ~module_ =
+  match List.find_opt (fun e -> e.module_ = module_) manifest with
+  | Some e -> e.functions
+  | None -> []
+
+let total_functions manifest =
+  List.fold_left (fun acc e -> acc + List.length e.functions) 0 manifest

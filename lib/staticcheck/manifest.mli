@@ -1,0 +1,11 @@
+(** The manifest of hot-path functions whose bodies must not allocate. *)
+
+type entry = { module_ : string; functions : string list }
+
+val default : entry list
+(** The repo's hot paths: event queue, engine loop, cache fill/evict, LRU,
+    presence scans, FAT scan kernel, object-table indexes, quiet
+    rebalancer period, recorder-off probes. *)
+
+val functions_for : entry list -> module_:string -> string list
+val total_functions : entry list -> int

@@ -1,0 +1,13 @@
+(** Raw-primitive pass: typedtree port of the old textual allowlist
+    rules. Flags resolved uses of [Mutex]/[Domain]/[Condition] outside
+    the allowlisted domain-pool shim, and [Obj.magic] anywhere. *)
+
+val default_allowlist : string list
+(** Source paths permitted to touch raw primitives:
+    [lib/runtime/domain_pool.ml]. *)
+
+val check_module :
+  ?allowlist:string list -> Cmt_load.module_info -> Finding.t list
+
+val check :
+  ?allowlist:string list -> Cmt_load.module_info list -> Finding.t list

@@ -193,7 +193,12 @@ let lookup t key =
       | Leaf { values; lock } ->
           Api.lock lock;
           charge_search leaf (log2_ceil (max leaf.nkeys 2));
-          let r = Option.map (fun i -> values.(i)) (leaf_slot leaf key) in
+          let r =
+            ((Option.map (fun i -> values.(i)) (leaf_slot leaf key))
+            [@alloc_ok
+              "result option under the leaf lock; simulated time does not \
+               observe GC"])
+          in
           Api.unlock lock;
           r)
 
@@ -216,7 +221,10 @@ let insert t ~key ~value =
                 if leaf.nkeys >= t.fanout then false
                 else begin
                   (* shift the tail up one slot to keep keys sorted *)
-                  let pos = ref leaf.nkeys in
+                  let pos =
+                    ((ref leaf.nkeys)
+                    [@alloc_ok "loop cursor under the leaf lock"])
+                  in
                   while !pos > 0 && leaf.keys.(!pos - 1) > key do
                     leaf.keys.(!pos) <- leaf.keys.(!pos - 1);
                     values.(!pos) <- values.(!pos - 1);

@@ -71,7 +71,13 @@ let get t ~key =
   Coretime.with_op t.ct b.addr (fun () ->
       Api.lock b.lock;
       let result =
-        match scan_sim b ~key with Some i -> Some b.values.(i) | None -> None
+        match scan_sim b ~key with
+        | Some i ->
+            ((Some b.values.(i))
+            [@alloc_ok
+              "one result option under the bucket lock; simulated time does \
+               not observe GC"])
+        | None -> None
       in
       Api.unlock b.lock;
       result)

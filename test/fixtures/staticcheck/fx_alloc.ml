@@ -1,0 +1,21 @@
+(* Allocation-pass fixture: suite_staticcheck points a manifest at these
+   functions and asserts one finding per allocating construct, none for
+   the annotated or clean cases, and a manifest-missing diagnostic for a
+   function the manifest names but this module does not define. *)
+
+(* alloc-tuple *)
+let boxed_pair x y = (x, y)
+
+(* alloc-construct *)
+let consing x xs = x :: xs
+
+(* alloc-closure: the result captures [n] *)
+let closure_maker n =
+  let f () = n + 1 in
+  f
+
+(* suppressed by the escape hatch: no finding *)
+let annotated n = ((ref n) [@alloc_ok "fixture: deliberate cell"])
+
+(* allocation-free: no finding *)
+let clean a i = Array.unsafe_get a i + i

@@ -1,0 +1,18 @@
+(* Effect-pass fixture: listeners registered with [Probe.subscribe] that
+   perform effects. The clean listener mutates only through its own
+   parameter, which the pass must allow. *)
+
+open O2_runtime
+
+(* effect-io: prints from inside the emit path *)
+let install_noisy probe =
+  Probe.subscribe probe (fun _ev -> print_endline "rebalanced")
+
+(* effect-api: drives the simulation from a listener *)
+let install_api probe =
+  Probe.subscribe probe (fun _ev -> Api.compute 5)
+
+(* clean: parameter-rooted accumulator mutation is the point of a
+   recorder *)
+let install_counter probe counter =
+  Probe.subscribe probe (fun _ev -> incr counter)

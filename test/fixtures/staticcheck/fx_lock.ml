@@ -1,0 +1,43 @@
+(* Lock-pass fixture: one function per discipline violation, plus a
+   balanced control and an [@alloc_ok]-silenced allocation under the
+   lock (the escape hatch suppresses lock-alloc but never depth
+   tracking). *)
+
+open O2_runtime
+
+(* lock-leak: the implicit else path exits at depth 1 *)
+let leak lock flag =
+  Api.lock lock;
+  if flag then Api.unlock lock
+
+(* lock-blocking: yields while holding the lock *)
+let blocking lock =
+  Api.lock lock;
+  Api.yield ();
+  Api.unlock lock
+
+(* lock-alloc: boxes a result under the lock *)
+let alloc_under lock x =
+  Api.lock lock;
+  let r = Some x in
+  Api.unlock lock;
+  r
+
+(* lock-underflow: releases a lock it never took *)
+let underflow lock =
+  Api.unlock lock;
+  Api.compute 1
+
+(* clean: balanced, simulated traffic under the lock is modeled time *)
+let balanced lock =
+  Api.lock lock;
+  ignore (Api.read ~addr:0 ~len:8);
+  Api.compute 5;
+  Api.unlock lock
+
+(* clean: the annotation silences the allocation judgement only *)
+let annotated lock x =
+  Api.lock lock;
+  let r = ((Some x) [@alloc_ok "fixture: result box under the lock"]) in
+  Api.unlock lock;
+  r

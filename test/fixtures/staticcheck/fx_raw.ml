@@ -1,0 +1,6 @@
+(* Raw-primitive fixture: resolved uses of the banned modules. The suite
+   checks both the default verdict (flagged) and that an allowlist entry
+   for this source silences the mutex but never [Obj.magic]. *)
+
+let m = Mutex.create ()
+let cast x = Obj.magic x

@@ -24,4 +24,5 @@ let () =
       ("obs", Suite_obs.suite);
       ("experiments", Suite_experiments.suite);
       ("analysis", Suite_analysis.suite);
+      ("staticcheck", Suite_staticcheck.suite);
     ]
