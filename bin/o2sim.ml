@@ -45,6 +45,19 @@ let jobs_arg =
     & opt int (O2_runtime.Domain_pool.default_jobs ())
     & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let shards_arg =
+  let doc =
+    "Run each simulation cell on the windowed sharded engine with \
+     min($(docv), chips) worker domains (0 = the classic serial engine). \
+     Results are bit-identical for every positive value — the logical \
+     shard is always one chip — but intentionally differ from serial \
+     runs: cross-chip coherence is windowed instead of instantaneous \
+     (DESIGN.md, 'Sharded time'). Honoured by the figure-4 sweeps and \
+     the harness-based ablations; composes with $(b,--jobs); \
+     incompatible with the observability flags."
+  in
+  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
+
 let out_arg =
   let doc = "Also write the report to this file." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
@@ -115,10 +128,24 @@ let explain_arg =
 
 let run_cmd =
   let doc = "Run experiments and print paper-shaped tables and figures." in
-  let run quick all jobs out metrics trace trace_sample occupancy
+  let run quick all jobs shards out metrics trace trace_sample occupancy
       occupancy_interval heat heat_top explain ids =
     if jobs < 1 then begin
       prerr_endline "o2sim: --jobs must be at least 1";
+      exit 1
+    end;
+    if shards < 0 then begin
+      prerr_endline "o2sim: --shards must be at least 0";
+      exit 1
+    end;
+    if
+      shards > 0
+      && (metrics || trace <> None || occupancy || heat || explain)
+    then begin
+      prerr_endline
+        "o2sim: --shards is incompatible with the observability flags \
+         (--metrics/--trace/--occupancy/--heat/--explain): sharded cells \
+         keep probes inactive";
       exit 1
     end;
     let obs =
@@ -150,7 +177,7 @@ let run_cmd =
     match out with
     | None ->
         finish Format.std_formatter
-          (O2_experiments.Registry.run_ids ~obs ~quick ~jobs
+          (O2_experiments.Registry.run_ids ~obs ~shards ~quick ~jobs
              Format.std_formatter ids)
     | Some path ->
         let oc = open_out path in
@@ -160,7 +187,8 @@ let run_cmd =
             let buf = Buffer.create 4096 in
             let ppf = Format.formatter_of_buffer buf in
             let result =
-              O2_experiments.Registry.run_ids ~obs ~quick ~jobs ppf ids
+              O2_experiments.Registry.run_ids ~obs ~shards ~quick ~jobs ppf
+                ids
             in
             Format.pp_print_flush ppf ();
             output_string oc (Buffer.contents buf);
@@ -170,9 +198,10 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(
-      const run $ quick_arg $ all_arg $ jobs_arg $ out_arg $ metrics_arg
-      $ trace_arg $ trace_sample_arg $ occupancy_arg $ occupancy_interval_arg
-      $ heat_arg $ heat_top_arg $ explain_arg $ ids_arg)
+      const run $ quick_arg $ all_arg $ jobs_arg $ shards_arg $ out_arg
+      $ metrics_arg $ trace_arg $ trace_sample_arg $ occupancy_arg
+      $ occupancy_interval_arg $ heat_arg $ heat_top_arg $ explain_arg
+      $ ids_arg)
 
 let machine_cmd =
   let doc = "Describe the simulated machines." in

@@ -22,6 +22,7 @@ val sweep :
   ?jobs:int ->
   ?metrics:bool ->
   ?occupancy:int ->
+  ?shards:int ->
   quick:bool ->
   oscillation:Harness.oscillation option ->
   unit ->
@@ -31,7 +32,9 @@ val sweep :
     columns. [occupancy] (a sampling interval in cycles) attaches a
     cache-observatory occupancy tracker to every cell and fills the
     [occ_*] row fields; the tracker observes only, so the points are
-    bit-identical either way. *)
+    bit-identical either way. [shards] (default 0) selects the windowed
+    sharded engine for every cell; incompatible with [metrics] and
+    [occupancy]. *)
 
 val to_series : row list -> O2_stats.Series.t * O2_stats.Series.t
 (** (with CoreTime, without CoreTime). *)
@@ -41,14 +44,28 @@ val print_figure : Format.formatter -> title:string -> row list -> unit
 (** Table + ASCII rendering of the figure + the Section 5 shape claims. *)
 
 val fig4a :
-  ?quick:bool -> ?jobs:int -> ?obs:Harness.obs -> Format.formatter -> unit
+  ?quick:bool ->
+  ?jobs:int ->
+  ?obs:Harness.obs ->
+  ?shards:int ->
+  Format.formatter ->
+  unit
 
 val fig4b :
-  ?quick:bool -> ?jobs:int -> ?obs:Harness.obs -> Format.formatter -> unit
+  ?quick:bool ->
+  ?jobs:int ->
+  ?obs:Harness.obs ->
+  ?shards:int ->
+  Format.formatter ->
+  unit
 (** [jobs] (default 1) dispatches the sweep's independent cells through a
     {!O2_runtime.Domain_pool} of that many workers; the rows are
     bit-identical whatever [jobs] is. [obs.metrics] adds per-cell latency
     columns; [obs.trace] re-runs one representative 8 MB cell with a
-    flight recorder and writes its Perfetto JSON there. *)
+    flight recorder and writes its Perfetto JSON there. [shards] (default
+    0 = serial engine) runs every cell on the windowed sharded engine
+    ({!Harness.setup}'s [shards]); sharded rows are bit-identical for any
+    [shards >= 1] but not comparable with serial rows, and sharding is
+    incompatible with the observability options. *)
 
 val oscillation_default : Harness.oscillation

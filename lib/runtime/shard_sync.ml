@@ -1,0 +1,155 @@
+open O2_simcore
+
+(* Cross-shard plumbing for the windowed engine: per-chip outboxes of
+   deferred cross-chip deliveries, and the round barrier that separates
+   window execution (chips in parallel) from the serial merge phase. *)
+
+module Outbox = struct
+  (* Timestamped thunks posted by one chip during its window and executed
+     by the coordinator in the barrier's serial phase, in posting order.
+     The arrival time rides alongside each thunk purely so the drain can
+     assert the conservatism invariant: nothing posted during [T, T+Δ)
+     may take effect before T+Δ. [push] is allocation-free in the steady
+     state apart from the caller's closure. *)
+  type t = {
+    arrivals : Intvec.t;
+    mutable thunks : (unit -> unit) array;
+    mutable len : int;
+  }
+
+  let nothing () = ()
+
+  let create () =
+    { arrivals = Intvec.create ~cap:64 (); thunks = Array.make 64 nothing; len = 0 }
+
+  let length t = t.len
+  let is_empty t = t.len = 0
+
+  let push t ~arrive thunk =
+    Intvec.push t.arrivals arrive;
+    if t.len = Array.length t.thunks then begin
+      let bigger =
+        (Array.make (2 * t.len) nothing
+        [@alloc_ok "amortized doubling, never shrunk"])
+      in
+      Array.blit t.thunks 0 bigger 0 t.len;
+      t.thunks <- bigger
+    end;
+    t.thunks.(t.len) <- thunk;
+    t.len <- t.len + 1
+
+  (* Execute every pending thunk in posting order. [deadline] is the new
+     window start T+Δ: an arrival before it would mean a cross-chip effect
+     outran the conservative lookahead — a Config/engine bug. *)
+  let drain t ~deadline =
+    for i = 0 to t.len - 1 do
+      let arrive = Intvec.unsafe_get t.arrivals i in
+      if arrive < deadline then
+        invalid_arg
+          (Printf.sprintf
+             "Shard_sync.Outbox.drain: message arrives at %d inside the \
+              current window (barrier at %d); sync window is not conservative"
+             arrive deadline);
+      let th =
+        (Array.unsafe_get t.thunks i
+        [@alloc_ok "reads a stored closure; nothing is constructed"])
+      in
+      Array.unsafe_set t.thunks i nothing;
+      th ()
+    done;
+    t.len <- 0;
+    Intvec.clear t.arrivals
+end
+
+module Domains = struct
+  (* The windowed engine's worker domains. Kept here (with the barrier's
+     mutex/condition) so raw concurrency primitives stay confined to the
+     runtime's two shims — domain_pool.ml for cell-level parallelism and
+     this module for intra-cell sharding; o2staticcheck enforces it. *)
+  type handle = unit Domain.t
+
+  let spawn f = Domain.spawn f
+  let join h = Domain.join h
+end
+
+module Barrier = struct
+  (* Round-trip barrier between one coordinator and [workers] worker
+     domains. Each round the coordinator publishes a per-round command (the
+     chip-loop stop time), workers run their chips up to it and report
+     back. Waits spin briefly then block on a condition variable, so the
+     scheme behaves on hosts with fewer cores than domains. *)
+  type t = {
+    mutable stop_time : int;  (* command for the round; read after [round] *)
+    round : int Atomic.t;
+    dones : int Atomic.t array;
+    mu : Mutex.t;
+    cv : Condition.t;
+  }
+
+  let exit_round = min_int
+
+  let create ~workers =
+    {
+      stop_time = 0;
+      round = Atomic.make 0;
+      dones = Array.init workers (fun _ -> Atomic.make 0);
+      mu = Mutex.create ();
+      cv = Condition.create ();
+    }
+
+  let spin_budget = 2000
+
+  (* The wait loops are written as direct recursions over the watched
+     atomic (no predicate closures): they run once per window per domain
+     and must not allocate — the manifest's alloc pass checks them. *)
+  let rec spin_newer r seen n =
+    Atomic.get r > seen || (n > 0 && (Domain.cpu_relax (); spin_newer r seen (n - 1)))
+
+  let rec spin_at_least d round n =
+    Atomic.get d >= round || (n > 0 && (Domain.cpu_relax (); spin_at_least d round (n - 1)))
+
+  let broadcast t =
+    Mutex.lock t.mu;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.mu
+
+  (* Coordinator: publish the next round's stop time. *)
+  let post_round t ~stop =
+    t.stop_time <- stop;
+    Atomic.incr t.round;
+    broadcast t
+
+  (* Worker: wait for a round newer than [seen]; returns (round, stop).
+     A stop of [exit_round] tells the worker to return. *)
+  let wait_round t ~seen =
+    if not (spin_newer t.round seen spin_budget) then begin
+      Mutex.lock t.mu;
+      while not (Atomic.get t.round > seen) do
+        Condition.wait t.cv t.mu
+      done;
+      Mutex.unlock t.mu
+    end;
+    ((Atomic.get t.round, t.stop_time)
+    [@alloc_ok "one result pair per window round, not per event"])
+
+  let worker_done t ~worker ~round =
+    Atomic.set t.dones.(worker) round;
+    broadcast t
+
+  let rec wait_workers_from t ~round i =
+    if i < Array.length t.dones then begin
+      let d = t.dones.(i) in
+      if not (spin_at_least d round spin_budget) then begin
+        Mutex.lock t.mu;
+        while not (Atomic.get d >= round) do
+          Condition.wait t.cv t.mu
+        done;
+        Mutex.unlock t.mu
+      end;
+      wait_workers_from t ~round (i + 1)
+    end
+
+  let wait_workers t ~round = wait_workers_from t ~round 0
+
+  let shutdown t = post_round t ~stop:exit_round
+end

@@ -1,0 +1,48 @@
+(** Cross-shard plumbing for the windowed sharded engine.
+
+    {!Outbox} buffers one chip's outbound cross-chip effects (migration
+    arrivals, shipped operations, lock protocol messages) as timestamped
+    thunks during a window; the coordinator drains them in posting order in
+    the barrier's serial phase. {!Barrier} is the coordinator/worker round
+    barrier: spin-then-block, so it degrades gracefully when domains
+    outnumber hardware cores. *)
+
+module Outbox : sig
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+  val is_empty : t -> bool
+
+  val push : t -> arrive:int -> (unit -> unit) -> unit
+  (** Record a delivery taking effect at virtual time [arrive]. *)
+
+  val drain : t -> deadline:int -> unit
+  (** Run all pending thunks in posting order and reset.
+      @raise Invalid_argument if any arrival is before [deadline] — a
+      cross-chip effect outran the conservative window. *)
+end
+
+module Domains : sig
+  type handle
+
+  val spawn : (unit -> unit) -> handle
+  val join : handle -> unit
+end
+
+module Barrier : sig
+  type t
+
+  val exit_round : int
+  (** Sentinel stop time telling workers to return. *)
+
+  val create : workers:int -> t
+  val post_round : t -> stop:int -> unit
+  val wait_round : t -> seen:int -> int * int
+  (** Worker side: blocks until a round newer than [seen] is posted;
+      returns [(round, stop_time)]. *)
+
+  val worker_done : t -> worker:int -> round:int -> unit
+  val wait_workers : t -> round:int -> unit
+  val shutdown : t -> unit
+end

@@ -1,5 +1,12 @@
 type state = Runnable | Spinning | Migrating | Finished
 
+(* An open slot for scheduler layers (CoreTime) to hang per-thread state
+   off the thread itself. Thread-local storage is what makes the state
+   safe under the sharded engine: a thread only ever runs on one domain
+   at a time, and cross-chip handoffs pass through a window barrier. *)
+type ctx = ..
+type ctx += No_ctx
+
 type t = {
   id : int;
   name : string;
@@ -7,10 +14,19 @@ type t = {
   mutable core : int;
   mutable state : state;
   mutable migrations : int;
+  mutable ctx : ctx;
 }
 
 let make ~id ~name ~core =
-  { id; name; origin_core = core; core; state = Runnable; migrations = 0 }
+  {
+    id;
+    name;
+    origin_core = core;
+    core;
+    state = Runnable;
+    migrations = 0;
+    ctx = No_ctx;
+  }
 
 let state_to_string = function
   | Runnable -> "runnable"

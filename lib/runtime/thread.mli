@@ -11,6 +11,15 @@ type state =
   | Migrating  (** Context in flight between cores. *)
   | Finished
 
+type ctx = ..
+(** An open slot for scheduler layers (CoreTime) to hang per-thread
+    state off the thread itself — e.g. the stack of open operation
+    frames. Keeping it thread-local makes it safe under the sharded
+    engine: a thread runs on one domain at a time, and cross-chip
+    handoffs pass through a window barrier. *)
+
+type ctx += No_ctx  (** Initial value: nothing attached. *)
+
 type t = {
   id : int;
   name : string;
@@ -18,6 +27,7 @@ type t = {
   mutable core : int;  (** Where it is currently placed. *)
   mutable state : state;
   mutable migrations : int;  (** How many times it has migrated. *)
+  mutable ctx : ctx;  (** See {!type:ctx}. *)
 }
 
 val make : id:int -> name:string -> core:int -> t

@@ -1,0 +1,31 @@
+(* A growable vector of unboxed ints. The shard outbox logs (presence ops,
+   invalidation commands, DRAM deltas) push into these on the simulator hot
+   path, so [push] must not allocate in the steady state: the backing array
+   doubles amortized and is never shrunk, and [clear] just resets the
+   length. *)
+
+type t = { mutable a : int array; mutable len : int }
+
+let create ?(cap = 64) () = { a = Array.make (max 1 cap) 0; len = 0 }
+
+let push t v =
+  if t.len = Array.length t.a then begin
+    let bigger =
+      (Array.make (2 * t.len) 0 [@alloc_ok "amortized doubling, never shrunk"])
+    in
+    Array.blit t.a 0 bigger 0 t.len;
+    t.a <- bigger
+  end;
+  Array.unsafe_set t.a t.len v;
+  t.len <- t.len + 1
+
+let length t = t.len
+let get t i = t.a.(i)
+let unsafe_get t i = Array.unsafe_get t.a i
+let clear t = t.len <- 0
+let is_empty t = t.len = 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (Array.unsafe_get t.a i)
+  done

@@ -1,0 +1,18 @@
+(** Growable unboxed-int vector for the shard outbox logs.
+
+    [push]/[clear] are allocation-free in the steady state (the backing
+    array doubles amortized and never shrinks), which is what lets the
+    per-window shard loop stay at zero minor allocations. *)
+
+type t
+
+val create : ?cap:int -> unit -> t
+val push : t -> int -> unit
+val length : t -> int
+val get : t -> int -> int
+val unsafe_get : t -> int -> int
+val clear : t -> unit
+(** Reset length to 0, keeping capacity. *)
+
+val is_empty : t -> bool
+val iter : (int -> unit) -> t -> unit

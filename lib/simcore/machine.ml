@@ -13,6 +13,31 @@ type observer = {
   on_remove : cache:Cache.t -> line:int -> unit;
 }
 
+(* One chip's view of the machine under the sharded (windowed) engine.
+   The view shares the cache arrays, counters, memory map and topology with
+   the root machine — a chip only ever mutates its own cores' L1/L2, its
+   own L3 and its own counters, so sharing is race-free — but carries a
+   private presence mirror and DRAM mirror plus the outbox logs that peers
+   replay at each window barrier:
+
+   - [plog]: every presence-bit update this chip made to its OWN bits this
+     window, packed one int per op. Replayed into every peer's mirror at
+     the barrier (streams from different chips touch disjoint bits, so
+     replay order across chips does not matter; order within a chip's log
+     is preserved).
+   - [ilog]: invalidation commands for lines this chip wrote that remote
+     chips still hold (per the mirror). The victim chip applies them at
+     the barrier — dropping the line from its caches and clearing its own
+     presence bits, which enter the victim's next-window [plog]. *)
+type shard_info = {
+  shard_chip : int;
+  first_core : int;
+  last_core : int;
+  cores_mask : int;  (* bit per core on this chip, for invalidate splits *)
+  plog : Intvec.t;
+  ilog : Intvec.t;
+}
+
 type t = {
   cfg : Config.t;
   topo : Topology.t;
@@ -35,6 +60,12 @@ type t = {
      notification site is a single [match] on it, so the unobserved access
      path allocates nothing and pays one branch (pinned by suite_hotpath). *)
   mutable observers : observer list;
+  (* Per-object line tally reused by [residency]; grown on demand. *)
+  mutable res_scratch : int array;
+  (* [Some _] iff this is a per-chip shard view; [None] on the root
+     machine and under the serial engine. Every shard-aware site is a
+     single match on this field, so serial behaviour is unchanged. *)
+  shard : shard_info option;
 }
 
 let create cfg =
@@ -67,7 +98,37 @@ let create cfg =
     hops_fn = Topology.hops topo;
     chip_of_fn = Config.chip_of_core cfg;
     observers = [];
+    res_scratch = [||];
+    shard = None;
   }
+
+let shard_view root ~chip =
+  if root.shard <> None then invalid_arg "Machine.shard_view: view of a view";
+  let per = root.cfg.Config.cores_per_chip in
+  let first_core = chip * per in
+  let dram = Dram.create root.cfg root.topo in
+  Dram.enable_delta_tracking dram;
+  {
+    root with
+    presence = Presence.create ();
+    dram;
+    dram_scratch = Array.make root.cfg.Config.chips 0;
+    observers = [];
+    res_scratch = [||];
+    shard =
+      Some
+        {
+          shard_chip = chip;
+          first_core;
+          last_core = first_core + per - 1;
+          cores_mask = ((1 lsl per) - 1) lsl first_core;
+          plog = Intvec.create ~cap:256 ();
+          ilog = Intvec.create ~cap:64 ();
+        };
+  }
+
+let shard_chip t =
+  match t.shard with Some s -> s.shard_chip | None -> -1
 
 let cfg t = t.cfg
 let topology t = t.topo
@@ -118,6 +179,41 @@ let observe t observer =
 
 let observed t = t.observers <> []
 
+(* Presence updates funnel through these wrappers so a shard view can log
+   its own-bit updates for replay into peer mirrors. Packed one int per op:
+   (line lsl 8) lor (core-or-chip lsl 2) lor op. Serial machines pay one
+   branch. *)
+let op_set_core = 0
+let op_clear_core = 1
+let op_set_chip = 2
+let op_clear_chip = 3
+
+let pack_pop ~line ~idx ~op = (line lsl 8) lor (idx lsl 2) lor op
+
+let pset_core t ~line ~core =
+  Presence.set_core t.presence ~line ~core;
+  match t.shard with
+  | None -> ()
+  | Some s -> Intvec.push s.plog (pack_pop ~line ~idx:core ~op:op_set_core)
+
+let pclear_core t ~line ~core =
+  Presence.clear_core t.presence ~line ~core;
+  match t.shard with
+  | None -> ()
+  | Some s -> Intvec.push s.plog (pack_pop ~line ~idx:core ~op:op_clear_core)
+
+let pset_chip t ~line ~chip =
+  Presence.set_chip t.presence ~line ~chip;
+  match t.shard with
+  | None -> ()
+  | Some s -> Intvec.push s.plog (pack_pop ~line ~idx:chip ~op:op_set_chip)
+
+let pclear_chip t ~line ~chip =
+  Presence.clear_chip t.presence ~line ~chip;
+  match t.shard with
+  | None -> ()
+  | Some s -> Intvec.push s.plog (pack_pop ~line ~idx:chip ~op:op_clear_chip)
+
 (* A core "holds" a line when it is in its L1 or L2; clear the presence bit
    only when it has left both. *)
 let core_still_holds t core line =
@@ -131,18 +227,18 @@ let core_still_holds t core line =
 
 let fill_l3 t chip line =
   let victim = Cache.fill_evict t.l3.(chip) line in
-  if victim >= 0 then Presence.clear_chip t.presence ~line:victim ~chip;
-  Presence.set_chip t.presence ~line ~chip
+  if victim >= 0 then pclear_chip t ~line:victim ~chip;
+  pset_chip t ~line ~chip
 
 let fill_l1 t core line =
   let victim = Cache.fill_evict t.l1.(core) line in
   if victim >= 0 && not (Cache.contains t.l2.(core) victim) then
-    Presence.clear_core t.presence ~line:victim ~core
+    pclear_core t ~line:victim ~core
 
 let fill_l2 t core line =
   let victim = Cache.fill_evict t.l2.(core) line in
   if victim >= 0 && not (Cache.contains t.l1.(core) victim) then begin
-    Presence.clear_core t.presence ~line:victim ~core;
+    pclear_core t ~line:victim ~core;
     (* victim-cache insertion into the chip's L3 *)
     fill_l3 t (chip_of_core t core) victim
   end
@@ -150,7 +246,7 @@ let fill_l2 t core line =
 let fill_private t core line =
   fill_l1 t core line;
   fill_l2 t core line;
-  Presence.set_core t.presence ~line ~core
+  pset_core t ~line ~core
 
 (* One load: the cost in cache cycles of sourcing [line]. Lines that miss
    everywhere and fall through to DRAM cost 0 here; they are tallied into
@@ -168,7 +264,7 @@ let read_line t ~core ~chip ~now line =
   else if Cache.probe t.l2.(core) line then begin
     c.Counters.l2_hits <- c.Counters.l2_hits + 1;
     fill_l1 t core line;
-    Presence.set_core t.presence ~line ~core;
+    pset_core t ~line ~core;
     notify_access t ~now ~core ~line ~source:src_l2;
     t.cfg.Config.l2_latency
   end
@@ -176,7 +272,7 @@ let read_line t ~core ~chip ~now line =
     c.Counters.l3_hits <- c.Counters.l3_hits + 1;
     (* exclusive: the line moves from the L3 into the private hierarchy *)
     ignore (Cache.drop t.l3.(chip) line);
-    Presence.clear_chip t.presence ~line ~chip;
+    pclear_chip t ~line ~chip;
     fill_private t core line;
     notify_access t ~now ~core ~line ~source:src_l3;
     t.cfg.Config.l3_latency
@@ -256,7 +352,7 @@ let invalidate_core_copies t line mask =
       if mask land (1 lsl h) <> 0 then begin
         ignore (Cache.invalidate t.l1.(h) line);
         ignore (Cache.invalidate t.l2.(h) line);
-        Presence.clear_core t.presence ~line ~core:h
+        pclear_core t ~line ~core:h
       end
     done
 
@@ -265,15 +361,44 @@ let invalidate_chip_copies t line mask =
     for p = 0 to t.cfg.Config.chips - 1 do
       if mask land (1 lsl p) <> 0 then begin
         ignore (Cache.invalidate t.l3.(p) line);
-        Presence.clear_chip t.presence ~line ~chip:p
+        pclear_chip t ~line ~chip:p
       end
     done
 
+(* Invalidation commands shipped to remote chips: (line lsl 8) lor
+   (victim lsl 2) lor kind, where kind 0 invalidates a core's L1+L2 copy
+   and kind 1 a chip's L3 copy. *)
+let ik_core = 0
+let ik_chip = 1
+
 let invalidate_others t ~core ~chip line =
   let mask = Presence.core_holders t.presence ~line land lnot (1 lsl core) in
-  invalidate_core_copies t line mask;
-  let chip_mask = Presence.chip_holders t.presence ~line land lnot (1 lsl chip) in
-  invalidate_chip_copies t line chip_mask;
+  let chip_mask =
+    Presence.chip_holders t.presence ~line land lnot (1 lsl chip)
+  in
+  (match t.shard with
+  | None ->
+      invalidate_core_copies t line mask;
+      invalidate_chip_copies t line chip_mask
+  | Some s ->
+      (* Same-chip copies drop immediately, exactly as under the serial
+         engine. Remote copies (per this chip's mirror, which may lag true
+         state by up to one window) are invalidated by their owner at the
+         window barrier: we must not touch a peer's caches, nor clear a
+         peer's presence bits — those are the peer's to clear, and the
+         clears reach us through its replayed log. *)
+      invalidate_core_copies t line (mask land s.cores_mask);
+      let remote_cores = mask land lnot s.cores_mask in
+      if remote_cores <> 0 then
+        for h = 0 to Config.cores t.cfg - 1 do
+          if remote_cores land (1 lsl h) <> 0 then
+            Intvec.push s.ilog ((line lsl 8) lor (h lsl 2) lor ik_core)
+        done;
+      if chip_mask <> 0 then
+        for p = 0 to t.cfg.Config.chips - 1 do
+          if chip_mask land (1 lsl p) <> 0 then
+            Intvec.push s.ilog ((line lsl 8) lor (p lsl 2) lor ik_chip)
+        done);
   mask <> 0 || chip_mask <> 0
 
 let rec write_lines t ~core ~chip ~now line last acc =
@@ -307,22 +432,24 @@ let line_resident t ~core ~addr =
   let line = line_of t addr in
   core_still_holds t core line
 
+(* Per-line attribution into a dense per-object tally: object ids are
+   allocation indices, so a flat int array replaces the old per-call
+   Hashtbl + sort; ids come out ascending by construction. *)
 let residency t cache =
-  let tally = Hashtbl.create 64 in
+  let n = Memsys.size t.mem in
+  if Array.length t.res_scratch < n then t.res_scratch <- Array.make (max 64 n) 0
+  else Array.fill t.res_scratch 0 n 0;
+  let tally = t.res_scratch in
   Cache.iter_lines
     (fun line ->
-      match Memsys.object_at t.mem ~addr:(line * t.cfg.Config.line_bytes) with
-      | None -> ()
-      | Some ext ->
-          let cur =
-            Option.value ~default:0 (Hashtbl.find_opt tally ext.Memsys.id)
-          in
-          Hashtbl.replace tally ext.Memsys.id (cur + 1))
+      let id = Memsys.object_id_at t.mem ~addr:(line * t.cfg.Config.line_bytes) in
+      if id >= 0 then tally.(id) <- tally.(id) + 1)
     cache;
-  Hashtbl.fold
-    (fun id n acc -> (Memsys.find_exn t.mem id, n) :: acc)
-    tally []
-  |> List.sort (fun (a, _) (b, _) -> compare a.Memsys.id b.Memsys.id)
+  let acc = ref [] in
+  for id = n - 1 downto 0 do
+    if tally.(id) > 0 then acc := (Memsys.find_exn t.mem id, tally.(id)) :: !acc
+  done;
+  !acc
 
 let object_residency t ext =
   List.filter_map
@@ -386,7 +513,7 @@ let place t ~core ~addr ~l1 ~l2 ~l3 =
   let chip = chip_of_core t core in
   if l1 then fill_l1 t core line;
   if l2 then fill_l2 t core line;
-  if l1 || l2 then Presence.set_core t.presence ~line ~core;
+  if l1 || l2 then pset_core t ~line ~core;
   if l3 then fill_l3 t chip line
 
 let flush_line t ~addr =
@@ -396,12 +523,12 @@ let flush_line t ~addr =
       let dropped1 = Cache.drop cache line in
       let dropped2 = Cache.drop t.l2.(c) line in
       if dropped1 || dropped2 then ();
-      Presence.clear_core t.presence ~line ~core:c)
+      pclear_core t ~line ~core:c)
     t.l1;
   Array.iteri
     (fun p cache ->
       ignore (Cache.drop cache line);
-      Presence.clear_chip t.presence ~line ~chip:p)
+      pclear_chip t ~line ~chip:p)
     t.l3
 
 let flush_all t =
@@ -411,12 +538,84 @@ let flush_all t =
   List.iter
     (fun line ->
       for c = 0 to Config.cores t.cfg - 1 do
-        Presence.clear_core t.presence ~line ~core:c
+        pclear_core t ~line ~core:c
       done;
       for p = 0 to t.cfg.Config.chips - 1 do
-        Presence.clear_chip t.presence ~line ~chip:p
+        pclear_chip t ~line ~chip:p
       done)
     !lines
 
 let seconds_of_cycles t cycles =
   float_of_int cycles /. (t.cfg.Config.ghz *. 1e9)
+
+(* ------------------------------------------------------------------ *)
+(* Window-barrier merge, driven by the sharded engine's serial phase.  *)
+
+let shard_info_exn t fn =
+  match t.shard with
+  | Some s -> s
+  | None -> invalid_arg ("Machine." ^ fn ^ ": not a shard view")
+
+let shard_outbox_empty t =
+  let s = shard_info_exn t "shard_outbox_empty" in
+  Intvec.is_empty s.plog && Intvec.is_empty s.ilog
+
+(* Replay [src]'s presence log into [dst]'s mirror. [src]'s log references
+   only [src]-owned bits, so replays from different chips commute; within
+   one chip's log the order is the order the updates happened. *)
+let shard_replay_presence dst ~src =
+  let s = shard_info_exn src "shard_replay_presence" in
+  let n = Intvec.length s.plog in
+  for i = 0 to n - 1 do
+    let e = Intvec.unsafe_get s.plog i in
+    let line = e lsr 8 in
+    let idx = (e lsr 2) land 0x3f in
+    match e land 0x3 with
+    | 0 (* op_set_core *) -> Presence.set_core dst.presence ~line ~core:idx
+    | 1 (* op_clear_core *) -> Presence.clear_core dst.presence ~line ~core:idx
+    | 2 (* op_set_chip *) -> Presence.set_chip dst.presence ~line ~chip:idx
+    | _ (* op_clear_chip *) -> Presence.clear_chip dst.presence ~line ~chip:idx
+  done
+
+(* Apply the commands in [src]'s invalidation log that target [victim]'s
+   chip: drop the line from the victim's caches and clear the victim's own
+   presence bits. The clears go through the logging wrappers, so peers
+   (including the writer) learn of them when [victim]'s next-window log is
+   replayed — remote state is stale by at most one window either way. *)
+let shard_apply_invals victim ~src =
+  let sv = shard_info_exn victim "shard_apply_invals" in
+  let ss = shard_info_exn src "shard_apply_invals(src)" in
+  let n = Intvec.length ss.ilog in
+  for i = 0 to n - 1 do
+    let e = Intvec.unsafe_get ss.ilog i in
+    let line = e lsr 8 in
+    let idx = (e lsr 2) land 0x3f in
+    match e land 0x3 with
+    | 0 (* ik_core *) ->
+        if idx >= sv.first_core && idx <= sv.last_core then begin
+          ignore (Cache.invalidate victim.l1.(idx) line);
+          ignore (Cache.invalidate victim.l2.(idx) line);
+          pclear_core victim ~line ~core:idx
+        end
+    | _ (* ik_chip *) ->
+        if idx = sv.shard_chip then begin
+          ignore (Cache.invalidate victim.l3.(idx) line);
+          pclear_chip victim ~line ~chip:idx
+        end
+  done
+
+let shard_absorb_dram dst ~src ~window_start =
+  Dram.absorb dst.dram ~src:src.dram ~window_start
+
+(* Barrier order matters: presence logs and DRAM deltas are replayed and
+   then cleared BEFORE invalidations are applied, so the presence clears
+   that [shard_apply_invals] performs land in the victim's fresh log and
+   are replayed to peers at the NEXT barrier. The ilogs are cleared last. *)
+let shard_clear_plog_and_dram t =
+  let s = shard_info_exn t "shard_clear_plog_and_dram" in
+  Intvec.clear s.plog;
+  Dram.clear_deltas t.dram
+
+let shard_clear_ilog t =
+  let s = shard_info_exn t "shard_clear_ilog" in
+  Intvec.clear s.ilog

@@ -29,9 +29,12 @@ val alloc_isolated : t -> name:string -> size:int -> extent
     other allocation (used for locks, to avoid false sharing). *)
 
 val find : t -> obj_id -> extent option
+(** O(1): ids are dense allocation indices, so this is an array read. *)
+
 val find_exn : t -> obj_id -> extent
 val object_at : t -> addr:int -> extent option
-(** The extent containing [addr], if any. *)
+(** The extent containing [addr], if any. Binary search over flat
+    base/size int arrays. *)
 
 val object_id_at : t -> addr:int -> obj_id
 (** Like {!object_at} but returns the extent's id, or [-1] when [addr] is

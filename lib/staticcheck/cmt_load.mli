@@ -40,8 +40,13 @@ val attr_reason : string -> Parsetree.attributes -> string option
 
 val top_bindings :
   Typedtree.structure -> (string, Typedtree.value_binding) Hashtbl.t
+(** Value bindings of the structure keyed by name; values inside nested
+    structures appear under their dotted path ("Barrier.wait_round"), so
+    manifests can reach into modules that group their API into
+    submodules. *)
 
 val top_ident_stamps : Typedtree.structure -> (string, unit) Hashtbl.t
-(** Idents bound at the structure's top level, keyed by
-    [Ident.unique_name] — the set against which closure free variables
-    are judged constant and mutation roots judged module-level. *)
+(** Idents bound at the structure's top level (including inside nested
+    structures), keyed by [Ident.unique_name] — the set against which
+    closure free variables are judged constant and mutation roots judged
+    module-level. *)

@@ -17,8 +17,27 @@ let default =
       functions =
         [ "before"; "swap"; "sift_up"; "sift_down"; "push"; "min_time";
           "pop_min"; "length"; "is_empty" ] };
-    (* the event loop around min_time/pop_min *)
-    { module_ = "Engine"; functions = [ "run" ] };
+    (* the event loop around min_time/pop_min, serial and windowed *)
+    { module_ = "Engine";
+      functions =
+        [ "serial_run"; "chip_loop"; "run_chip_range"; "pump_facade";
+          "run_hooks"; "barrier_merge"; "sum_nondaemon"; "any_outbox";
+          "min_event_time" ] };
+    (* flat extent lookup on every simulated access *)
+    { module_ = "Memsys";
+      functions = [ "find"; "bsearch"; "index_at"; "object_id_at" ] };
+    (* shard logs: pushed on the presence/invalidation write paths *)
+    { module_ = "Intvec";
+      functions = [ "push"; "length"; "get"; "unsafe_get"; "clear"; "is_empty" ] };
+    (* cross-chip message buffering and the per-window round barrier;
+       Shard_sync groups its API into submodules, hence the dotted names *)
+    { module_ = "Shard_sync";
+      functions =
+        [ "Outbox.push"; "Outbox.drain"; "Outbox.is_empty"; "Outbox.length";
+          "Barrier.post_round"; "Barrier.wait_round"; "Barrier.worker_done";
+          "Barrier.wait_workers"; "Barrier.wait_workers_from";
+          "Barrier.broadcast"; "Barrier.spin_newer"; "Barrier.spin_at_least";
+          "Barrier.shutdown" ] };
     (* cache fill/evict int protocol *)
     { module_ = "Cache";
       functions = [ "probe"; "fill_evict"; "invalidate"; "drop"; "notify_remove" ] };

@@ -6,7 +6,11 @@
 
 open Typedtree
 
-let default_allowlist = [ "lib/runtime/domain_pool.ml" ]
+(* The runtime's two concurrency shims: domain_pool.ml parallelises whole
+   independent cells; shard_sync.ml holds the windowed engine's worker
+   domains and round barrier. Raw primitives live nowhere else. *)
+let default_allowlist =
+  [ "lib/runtime/domain_pool.ml"; "lib/runtime/shard_sync.ml" ]
 
 (* A use of [Mod.fn] where some non-final path component is one of the
    raw modules. Matching on components (not the head) catches both

@@ -1,0 +1,415 @@
+(* The windowed sharded engine: one logical shard per chip, worker
+   domains chosen by --shards, cross-chip effects applied at conservative
+   window barriers. The load-bearing contract is shard-count invariance —
+   results are bit-identical for every shards >= 1 because the partition
+   is always per chip and only the domain grouping changes. Windowed
+   results intentionally differ from the serial engine (DESIGN.md,
+   "Sharded time"), so these pins are separate from the serial goldens. *)
+
+open O2_simcore
+open O2_runtime
+
+let cfg = Config.amd16
+let delta = Config.sync_window cfg
+let machine () = Machine.create cfg
+let sharded ~shards () = Engine.create_sharded (machine ()) ~shards
+
+let chip_of = Config.chip_of_core cfg
+
+(* First core belonging to [chip]. *)
+let core_on chip =
+  let rec find c = if chip_of c = chip then c else find (c + 1) in
+  find 0
+
+let counters_digest e =
+  let m = Engine.machine e in
+  let copies = Array.map Counters.copy (Machine.all_counters m) in
+  Digest.to_hex (Digest.string (Marshal.to_string copies []))
+
+let test_sync_window () =
+  Alcotest.(check int) "amd16 sync window" 90 delta;
+  Alcotest.(check bool) "positive for any config" true (delta > 0)
+
+let test_smoke () =
+  let e = sharded ~shards:4 () in
+  Alcotest.(check bool) "sharded" true (Engine.is_sharded e);
+  Alcotest.(check int) "domains = min(shards, chips)" 4 (Engine.shards e);
+  for chip = 0 to cfg.Config.chips - 1 do
+    ignore
+      (Engine.spawn e ~core:(core_on chip) ~name:"t" (fun () ->
+           Api.compute 1000))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "no live threads" 0 (Engine.live_threads e);
+  for chip = 0 to cfg.Config.chips - 1 do
+    Alcotest.(check int) "clock advanced" 1000 (Engine.core_clock e (core_on chip))
+  done
+
+let test_serial_engine_unchanged () =
+  let e = Engine.create (machine ()) in
+  Alcotest.(check bool) "not sharded" false (Engine.is_sharded e);
+  Alcotest.(check int) "no shard domains" 0 (Engine.shards e)
+
+(* A mixed cross-chip workload: every chip has a writer hammering a
+   shared line (invalidation + presence traffic), plus a reader of a
+   chip-local line, plus one thread migrating across all chips. *)
+let mixed_workload e =
+  let m = Engine.machine e in
+  let mem = Machine.memory m in
+  let shared = Memsys.alloc_isolated mem ~name:"shared" ~size:64 in
+  let locals =
+    Array.init cfg.Config.chips (fun i ->
+        Memsys.alloc_isolated mem ~name:(Printf.sprintf "local%d" i) ~size:256)
+  in
+  for chip = 0 to cfg.Config.chips - 1 do
+    let core = core_on chip in
+    ignore
+      (Engine.spawn e ~core ~name:"writer" (fun () ->
+           for _ = 1 to 30 do
+             ignore (Api.write ~addr:shared.Memsys.base ~len:8);
+             Api.compute 200
+           done));
+    ignore
+      (Engine.spawn e ~core:(core + 1) ~name:"reader" (fun () ->
+           for _ = 1 to 40 do
+             ignore (Api.read ~addr:locals.(chip).Memsys.base ~len:64);
+             ignore (Api.read ~addr:shared.Memsys.base ~len:8);
+             Api.compute 100
+           done));
+    ignore
+      (Engine.spawn e ~core:(core + 2) ~name:"hopper" (fun () ->
+           for target = 0 to cfg.Config.chips - 1 do
+             Api.migrate_to (core_on target + 3);
+             Api.compute 500
+           done))
+  done
+
+let test_shard_count_invariance () =
+  let digests =
+    List.map
+      (fun shards ->
+        let e = sharded ~shards () in
+        mixed_workload e;
+        Engine.run e;
+        counters_digest e)
+      [ 1; 2; 4 ]
+  in
+  match digests with
+  | [ d1; d2; d4 ] ->
+      Alcotest.(check string) "shards=2 identical to shards=1" d1 d2;
+      Alcotest.(check string) "shards=4 identical to shards=1" d1 d4
+  | _ -> assert false
+
+(* Cross-chip migration goes through the outbox but lands at exactly the
+   serial arrival time (depart + wire), so end-to-end timing matches the
+   serial engine cycle for cycle. *)
+let test_cross_chip_migration_timing () =
+  let run_on e =
+    ignore
+      (Engine.spawn e ~core:(core_on 0) ~name:"t" (fun () ->
+           Api.migrate_to (core_on 3);
+           Api.compute 10));
+    Engine.run e;
+    Engine.core_clock e (core_on 3)
+  in
+  let serial = run_on (Engine.create (machine ())) in
+  let windowed = run_on (sharded ~shards:4 ()) in
+  Alcotest.(check int) "same landing clock" serial windowed;
+  Alcotest.(check int) "migration costs 2000 + 10" 2010 windowed
+
+(* Same-chip locking under sharding uses the exact serial path: no
+   protocol messages, no extra latency. *)
+let test_same_chip_lock_is_serial () =
+  let e = sharded ~shards:4 () in
+  let m = Engine.machine e in
+  let l = Spinlock.create (Machine.memory m) ~name:"l" in
+  let home = Topology.home_chip (Machine.topology m) ~addr:l.Spinlock.addr in
+  let core = core_on home in
+  ignore
+    (Engine.spawn e ~core ~name:"t" (fun () ->
+         Api.lock l;
+         Api.compute 50;
+         Api.unlock l));
+  Engine.run e;
+  Alcotest.(check int) "one acquisition" 1 (Spinlock.acquisitions l);
+  Alcotest.(check int) "uncontended" 0 (Spinlock.contended l);
+  Alcotest.(check int) "no spin cycles" 0
+    (Machine.counters m core).Counters.spin_cycles
+
+(* A remote acquire pays the 2Δ message round trip (request to the home
+   chip, grant back), recorded as spin cycles. *)
+let test_remote_lock_round_trip () =
+  let e = sharded ~shards:4 () in
+  let m = Engine.machine e in
+  let l = Spinlock.create (Machine.memory m) ~name:"l" in
+  let home = Topology.home_chip (Machine.topology m) ~addr:l.Spinlock.addr in
+  let remote_chip = (home + 1) mod cfg.Config.chips in
+  let core = core_on remote_chip in
+  ignore
+    (Engine.spawn e ~core ~name:"t" (fun () ->
+         Api.lock l;
+         Api.compute 50;
+         Api.unlock l));
+  Engine.run e;
+  Alcotest.(check int) "one acquisition" 1 (Spinlock.acquisitions l);
+  Alcotest.(check int) "2Δ round trip as spin" (2 * delta)
+    (Machine.counters m core).Counters.spin_cycles;
+  Alcotest.(check bool) "lock free again" false (Spinlock.held l)
+
+(* Contended remote acquisition: the home chip queues the waiter and
+   hands over on release; the lock ends up released with both
+   acquisitions counted. *)
+let test_remote_lock_contention () =
+  let e = sharded ~shards:4 () in
+  let m = Engine.machine e in
+  let l = Spinlock.create (Machine.memory m) ~name:"l" in
+  let home = Topology.home_chip (Machine.topology m) ~addr:l.Spinlock.addr in
+  let other = (home + 2) mod cfg.Config.chips in
+  let spawn_locker chip hold =
+    ignore
+      (Engine.spawn e ~core:(core_on chip) ~name:"locker" (fun () ->
+           Api.lock l;
+           Api.compute hold;
+           Api.unlock l))
+  in
+  spawn_locker home 5000;
+  spawn_locker other 100;
+  Engine.run e;
+  Alcotest.(check int) "both acquired" 2 (Spinlock.acquisitions l);
+  Alcotest.(check bool) "someone waited" true (Spinlock.contended l >= 1);
+  Alcotest.(check bool) "released at the end" false (Spinlock.held l)
+
+let test_remote_release_not_owner () =
+  let e = sharded ~shards:1 () in
+  let m = Engine.machine e in
+  let l = Spinlock.create (Machine.memory m) ~name:"l" in
+  let home = Topology.home_chip (Machine.topology m) ~addr:l.Spinlock.addr in
+  let remote_chip = (home + 1) mod cfg.Config.chips in
+  ignore
+    (Engine.spawn e ~core:(core_on remote_chip) ~name:"t" (fun () ->
+         Api.unlock l));
+  Alcotest.(check bool) "home-side ownership check raises" true
+    (try
+       Engine.run e;
+       false
+     with Engine.Not_lock_owner _ -> true)
+
+(* Pausing at a horizon mid-window and resuming is equivalent to one
+   uninterrupted run: the partial window is continued, not re-barriered. *)
+let test_window_resume () =
+  let uninterrupted =
+    let e = sharded ~shards:2 () in
+    mixed_workload e;
+    Engine.run ~until:500_000 e;
+    counters_digest e
+  in
+  let paused =
+    let e = sharded ~shards:2 () in
+    mixed_workload e;
+    (* 250_000 is not a multiple of Δ=90: the first run stops mid-window. *)
+    Engine.run ~until:250_000 e;
+    Engine.run ~until:500_000 e;
+    counters_digest e
+  in
+  Alcotest.(check string) "identical counters" uninterrupted paused
+
+let test_stop_when_rejected () =
+  let e = sharded ~shards:2 () in
+  Alcotest.check_raises "stop_when unsupported"
+    (Invalid_argument
+       "Engine.run: stop_when is not supported on a sharded engine")
+    (fun () -> Engine.run ~stop_when:(fun () -> false) e)
+
+let test_observed_machine_rejected () =
+  let m = machine () in
+  Machine.observe m
+    {
+      Machine.on_access = (fun ~now:_ ~core:_ ~line:_ ~source:_ -> ());
+      on_fill = (fun ~cache:_ ~line:_ ~victim:_ -> ());
+      on_remove = (fun ~cache:_ ~line:_ -> ());
+    };
+  Alcotest.(check bool) "create_sharded rejects observed machines" true
+    (try
+       ignore (Engine.create_sharded m ~shards:2);
+       false
+     with Invalid_argument _ -> true)
+
+(* --------------------------------------------------------------- *)
+(* Outbox properties (qcheck): delivery is FIFO — two messages posted
+   in order are delivered in order, whatever their arrival stamps — and
+   an arrival inside the closing window trips the conservatism check.  *)
+
+let prop_outbox_fifo =
+  QCheck2.Test.make ~name:"outbox delivery preserves posting order" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 40) (int_range 0 50))
+    (fun offsets ->
+      let ob = Shard_sync.Outbox.create () in
+      let deadline = 1000 in
+      let order = ref [] in
+      List.iteri
+        (fun i off ->
+          Shard_sync.Outbox.push ob ~arrive:(deadline + off) (fun () ->
+              order := i :: !order))
+        offsets;
+      Shard_sync.Outbox.drain ob ~deadline;
+      !order = List.rev (List.init (List.length offsets) Fun.id)
+      && Shard_sync.Outbox.is_empty ob)
+
+let prop_outbox_conservatism =
+  QCheck2.Test.make
+    ~name:"an arrival inside the window trips the conservatism check"
+    ~count:100
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 1 1000))
+    (fun (deadline, short) ->
+      let ob = Shard_sync.Outbox.create () in
+      Shard_sync.Outbox.push ob ~arrive:(deadline - min short deadline)
+        (fun () -> ());
+      try
+        Shard_sync.Outbox.drain ob ~deadline;
+        false
+      with Invalid_argument _ -> true)
+
+(* Engine-level qcheck: random compute/write interleavings against a
+   shared line produce bit-identical counters at shards=1 and shards=4.
+   This is the "no same-line reordering within Δ" property in executable
+   form — any divergence in invalidation or presence ordering between
+   domain groupings would change hit/miss counters. *)
+let prop_random_invariance =
+  QCheck2.Test.make
+    ~name:"random cross-chip traffic: shards=4 counters = shards=1" ~count:15
+    QCheck2.Gen.(
+      list_size (int_range 4 12)
+        (triple (int_range 0 15) (int_range 1 400) bool))
+    (fun plan ->
+      let digest shards =
+        let e = sharded ~shards () in
+        let mem = Machine.memory (Engine.machine e) in
+        let shared = Memsys.alloc_isolated mem ~name:"s" ~size:64 in
+        List.iteri
+          (fun i (core, gap, write) ->
+            ignore
+              (Engine.spawn e ~core ~name:(Printf.sprintf "t%d" i) (fun () ->
+                   for _ = 1 to 10 do
+                     Api.compute gap;
+                     if write then
+                       ignore (Api.write ~addr:shared.Memsys.base ~len:8)
+                     else ignore (Api.read ~addr:shared.Memsys.base ~len:8)
+                   done)))
+          plan;
+        Engine.run e;
+        counters_digest e
+      in
+      digest 1 = digest 4)
+
+(* --------------------------------------------------------------- *)
+(* Harness-level goldens: the fig4(a)/(b)-small sweeps and the ablation
+   grid under the windowed engine, pinned bit-identical at every
+   shards ∈ {1,2,4} × jobs ∈ {1,2} combination. Captured from the first
+   windowed implementation; horizons are shorter than the serial goldens
+   (1M+1M) because windowed cells pay ~Δ-granular barrier overhead.     *)
+
+open O2_experiments
+
+let digest_points (points : Harness.point list) =
+  Digest.to_hex (Digest.string (Marshal.to_string points []))
+
+let golden_cells ~shards ~oscillation =
+  List.concat_map
+    (fun kb ->
+      let spec = O2_workload.Dir_workload.spec_for_data_kb ~kb () in
+      List.map
+        (fun policy ->
+          Harness.setup ~policy ~warmup:1_000_000 ~measure:1_000_000
+            ?oscillation ~shards spec)
+        [ Coretime.Policy.baseline; Coretime.Policy.default ])
+    [ 256; 1024 ]
+
+let golden_ablation_cells ~shards =
+  let spec = O2_workload.Dir_workload.spec_for_data_kb ~kb:1024 () in
+  List.map
+    (fun policy ->
+      Harness.setup ~policy ~warmup:1_000_000 ~measure:1_000_000 ~shards spec)
+    [
+      Coretime.Policy.baseline;
+      { Coretime.Policy.default with Coretime.Policy.evict_for_hotter = true };
+      { Coretime.Policy.default with Coretime.Policy.replicate_read_only = true };
+      { Coretime.Policy.default with Coretime.Policy.op_shipping = true };
+      { Coretime.Policy.default with Coretime.Policy.clustering = true };
+    ]
+
+let check_sharded_golden name mk ~digest ~total_ops =
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun jobs ->
+          let points = Harness.run_cells ~jobs (mk ~shards) in
+          Alcotest.(check int)
+            (Printf.sprintf "%s: total ops (shards=%d jobs=%d)" name shards jobs)
+            total_ops
+            (List.fold_left (fun a p -> a + p.Harness.ops) 0 points);
+          Alcotest.(check string)
+            (Printf.sprintf "%s: digest (shards=%d jobs=%d)" name shards jobs)
+            digest (digest_points points))
+        (if shards = 1 then [ 1; 2 ] else [ 1 ]))
+    [ 1; 2; 4 ]
+
+let test_golden_fig4a_sharded () =
+  check_sharded_golden "fig4a-small-sharded"
+    (fun ~shards -> golden_cells ~shards ~oscillation:None)
+    ~digest:"f644e761d67d80a99fb1de0ad8d25e5a" ~total_ops:1568
+
+let test_golden_fig4b_sharded () =
+  check_sharded_golden "fig4b-small-sharded"
+    (fun ~shards ->
+      golden_cells ~shards
+        ~oscillation:(Some { Harness.period = 500_000; divisor = 4 }))
+    ~digest:"55612351e28e5361b538d2b268d48b5d" ~total_ops:1433
+
+let test_golden_ablations_sharded () =
+  check_sharded_golden "ablation-small-sharded"
+    (fun ~shards -> golden_ablation_cells ~shards)
+    ~digest:"2f8861d57ca864cf67eeb5a29dc7566b" ~total_ops:803
+
+let test_attach_rejected () =
+  let s =
+    Harness.setup ~warmup:1000 ~measure:1000 ~shards:2
+      (O2_workload.Dir_workload.spec_for_data_kb ~kb:256 ())
+  in
+  Alcotest.(check bool) "attach + shards rejected" true
+    (try
+       ignore (Harness.run ~attach:(fun _ -> ()) s);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "sync window" `Quick test_sync_window;
+    Alcotest.test_case "smoke" `Quick test_smoke;
+    Alcotest.test_case "serial engine unchanged" `Quick
+      test_serial_engine_unchanged;
+    Alcotest.test_case "shard-count invariance" `Quick
+      test_shard_count_invariance;
+    Alcotest.test_case "cross-chip migration timing" `Quick
+      test_cross_chip_migration_timing;
+    Alcotest.test_case "same-chip lock is serial" `Quick
+      test_same_chip_lock_is_serial;
+    Alcotest.test_case "remote lock round trip" `Quick
+      test_remote_lock_round_trip;
+    Alcotest.test_case "remote lock contention" `Quick
+      test_remote_lock_contention;
+    Alcotest.test_case "remote release ownership check" `Quick
+      test_remote_release_not_owner;
+    Alcotest.test_case "window resume" `Quick test_window_resume;
+    Alcotest.test_case "stop_when rejected" `Quick test_stop_when_rejected;
+    Alcotest.test_case "observed machine rejected" `Quick
+      test_observed_machine_rejected;
+    QCheck_alcotest.to_alcotest prop_outbox_fifo;
+    QCheck_alcotest.to_alcotest prop_outbox_conservatism;
+    QCheck_alcotest.to_alcotest prop_random_invariance;
+    Alcotest.test_case "golden fig4a sharded" `Slow test_golden_fig4a_sharded;
+    Alcotest.test_case "golden fig4b sharded" `Slow test_golden_fig4b_sharded;
+    Alcotest.test_case "golden ablations sharded" `Slow
+      test_golden_ablations_sharded;
+    Alcotest.test_case "attach rejected with shards" `Quick
+      test_attach_rejected;
+  ]
