@@ -206,10 +206,24 @@ let move_thread t th ~target ~send ~wire ~land_ k =
   if target = src then
     schedule t ~time:cs.clock (Run (src, fun () -> continue k ()))
   else begin
+    (* A cross-chip move must not touch the destination's counters from
+       the source chip's domain: its owner may be mid-window on another
+       domain, and two senders (or the sender and an intra-chip move)
+       would race on the same field. [migrations_out] stays send-side;
+       [migrations_in] is charged inside [land_on], which runs on the
+       destination chip's domain at arrival. Serial and same-chip moves
+       keep the original send-time accounting. *)
+    let cross =
+      match t.shard with
+      | Some s -> s.chip_of target <> s.chip
+      | None -> false
+    in
     let csrc = Machine.counters t.machine src in
-    let cdst = Machine.counters t.machine target in
     csrc.Counters.migrations_out <- csrc.Counters.migrations_out + 1;
-    cdst.Counters.migrations_in <- cdst.Counters.migrations_in + 1;
+    if not cross then begin
+      let cdst = Machine.counters t.machine target in
+      cdst.Counters.migrations_in <- cdst.Counters.migrations_in + 1
+    end;
     th.Thread.migrations <- th.Thread.migrations + 1;
     if Probe.active t.probe_ then
       Probe.emit t.probe_
@@ -231,6 +245,10 @@ let move_thread t th ~target ~send ~wire ~land_ k =
         thread = th;
         run =
           (fun () ->
+            if cross then begin
+              let cdst = Machine.counters tgt.machine target in
+              cdst.Counters.migrations_in <- cdst.Counters.migrations_in + 1
+            end;
             th.Thread.state <- Thread.Runnable;
             let cst = tgt.cores_.(target) in
             charge_busy tgt target land_;
@@ -247,12 +265,12 @@ let move_thread t th ~target ~send ~wire ~land_ k =
   end
 
 (* Which chip arbitrates a lock under sharding: the home chip of its
-   address, cached on the lock after the first lookup. *)
+   address. Recomputed on demand — it is two integer divisions on the
+   immutable topology, and caching it on the lock would be a write to
+   shared lock state from the requester's domain, breaking the rule that
+   only the home chip touches a lock. *)
 let lock_home t l =
-  if l.Spinlock.home_chip < 0 then
-    l.Spinlock.home_chip <-
-      Topology.home_chip (Machine.topology t.machine) ~addr:l.Spinlock.addr;
-  l.Spinlock.home_chip
+  Topology.home_chip (Machine.topology t.machine) ~addr:l.Spinlock.addr
 
 (* The effect interpreter for one thread. Handlers never resume
    continuations synchronously for timed operations: they compute the
@@ -583,22 +601,30 @@ let spawn t ~core ~name body =
   let th = Thread.make ~id:ow.next_thread_id ~name ~core in
   ow.next_thread_id <- ow.next_thread_id + 1;
   ow.live <- ow.live + 1;
+  let et = cur t core in
+  let cs = et.cores_.(core) in
+  (* Under sharding, a thread spawned mid-run (from a facade control
+     event in the barrier's serial phase) must not start inside a window
+     the chips have already executed: if its chip has been idle, the chip
+     engine's last_time and core clock lag the window cursor, and the
+     thread's first cross-chip effect would arrive inside a closed window
+     and trip the outbox conservatism check. Clamp the dispatch time to
+     the facade's window cursor, which during the serial phase is the
+     start of the next window to run (0 before the run starts, so
+     setup-time spawns are unaffected). *)
+  let start =
+    let base = max et.last_time cs.clock in
+    match ow.shard with Some s -> max base s.wstart | None -> base
+  in
   if Probe.active ow.probe_ then
     Probe.emit ow.probe_
       (Probe.Thread_spawned
-         {
-           time = max ow.last_time ow.cores_.(core).clock;
-           core;
-           tid = th.Thread.id;
-           name;
-         });
-  let et = cur t core in
+         { time = max ow.last_time start; core; tid = th.Thread.id; name });
   let r =
     { thread = th; run = (fun () -> Effect.Deep.match_with body () (handler et th)) }
   in
-  let cs = et.cores_.(core) in
   Queue.add r cs.runq;
-  schedule et ~time:(max et.last_time cs.clock) (Poke core);
+  schedule et ~time:start (Poke core);
   th
 
 let at t ~time f =
@@ -877,9 +903,14 @@ let sharded_run ?until ?stop_when t s =
              continue_ := false
            end
            else begin
+             (* Advance the cursor BEFORE the serial phase: facade
+                control events run inside [barrier_merge] (pump_facade),
+                and anything they schedule — notably [spawn] — clamps
+                against the cursor, which must already name the next
+                window to execute. *)
+             s.wstart <- wend;
              barrier_merge t s ~wend;
-             t.last_time <- max t.last_time (wend - 1);
-             s.wstart <- wend
+             t.last_time <- max t.last_time (wend - 1)
            end
          end
        end

@@ -7,9 +7,6 @@ type t = {
   waiters : waiter Queue.t;
   mutable acquisitions : int;
   mutable contended : int;
-  (* Which chip arbitrates this lock under the sharded engine: the home
-     chip of its address. Computed lazily by the engine; -1 = not yet. *)
-  mutable home_chip : int;
 }
 
 let create mem ~name =
@@ -21,7 +18,6 @@ let create mem ~name =
     waiters = Queue.create ();
     acquisitions = 0;
     contended = 0;
-    home_chip = -1;
   }
 
 let held t = t.owner <> None

@@ -21,9 +21,6 @@ type t = {
   waiters : waiter Queue.t;
   mutable acquisitions : int;
   mutable contended : int;  (** Acquisitions that had to wait. *)
-  mutable home_chip : int;
-      (** Arbitrating chip under the sharded engine (the home chip of
-          [addr]); computed lazily by the engine, [-1] until then. *)
 }
 
 val create : O2_simcore.Memsys.t -> name:string -> t

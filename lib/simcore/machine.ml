@@ -104,6 +104,17 @@ let create cfg =
 
 let shard_view root ~chip =
   if root.shard <> None then invalid_arg "Machine.shard_view: view of a view";
+  (* The per-core presence masks and [cores_mask] below pack one bit per
+     global core into an OCaml int; past 62 cores the top bits fall into
+     the sign bit and beyond, so the sharded invalidation split would
+     silently corrupt masks (future64 and wider). Fail loudly instead —
+     wide configs run on the serial engine. *)
+  if Config.cores root.cfg > 62 then
+    invalid_arg
+      (Printf.sprintf
+         "Machine.shard_view: %d cores exceed the 62 the per-line int \
+          presence masks support; run configs this wide on the serial engine"
+         (Config.cores root.cfg));
   let per = root.cfg.Config.cores_per_chip in
   let first_core = chip * per in
   let dram = Dram.create root.cfg root.topo in

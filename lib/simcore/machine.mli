@@ -129,7 +129,10 @@ val seconds_of_cycles : t -> int -> float
     occupancy reports apply to serial runs only. *)
 
 val shard_view : t -> chip:int -> t
-(** @raise Invalid_argument when applied to a view. *)
+(** @raise Invalid_argument when applied to a view, or when the config
+    has more than 62 cores — the per-line int presence masks pack one
+    bit per global core, so wider machines (e.g. future64's 8x8) must
+    use the serial engine. *)
 
 val shard_chip : t -> int
 (** The view's chip, or [-1] for a root machine. *)

@@ -117,6 +117,52 @@ let test_cross_chip_migration_timing () =
   Alcotest.(check int) "same landing clock" serial windowed;
   Alcotest.(check int) "migration costs 2000 + 10" 2010 windowed
 
+(* Cross-chip migration accounting: [migrations_in] is charged on the
+   destination chip's domain at arrival (charging it at send time would
+   race with the destination's own window), and the totals still match
+   one count per side once the move completes. *)
+let test_cross_chip_migration_counters () =
+  let e = sharded ~shards:4 () in
+  let m = Engine.machine e in
+  ignore
+    (Engine.spawn e ~core:(core_on 0) ~name:"t" (fun () ->
+         Api.migrate_to (core_on 3)));
+  Engine.run e;
+  Alcotest.(check int) "out counted on the source" 1
+    (Machine.counters m (core_on 0)).Counters.migrations_out;
+  Alcotest.(check int) "in counted on the destination" 1
+    (Machine.counters m (core_on 3)).Counters.migrations_in
+
+(* A thread spawned mid-run from a facade control event onto a chip that
+   has sat idle must start in the next window to execute, not at the
+   chip's lagging clock — otherwise its first cross-chip effect arrives
+   inside an already-closed window and trips the outbox conservatism
+   check ("sync window is not conservative"). *)
+let test_mid_run_spawn () =
+  let e = sharded ~shards:2 () in
+  let spawn_at = 100 * delta in
+  Engine.at e ~time:spawn_at (fun ~now:_ ->
+      ignore
+        (Engine.spawn e ~core:(core_on 1) ~name:"late" (fun () ->
+             Api.migrate_to (core_on 2);
+             Api.compute 10)));
+  Engine.run e;
+  Alcotest.(check int) "late thread ran to completion" 0
+    (Engine.live_threads e);
+  Alcotest.(check bool) "starts no earlier than the spawn window" true
+    (Engine.core_clock e (core_on 2) > spawn_at)
+
+(* Presence masks pack one bit per global core into an int: configs wider
+   than 62 cores (future64 is 8x8) must be rejected by the sharded
+   engine, not silently mask-corrupted. *)
+let test_wide_config_rejected () =
+  let m = Machine.create Config.future64 in
+  Alcotest.(check bool) "64-core config rejected" true
+    (try
+       ignore (Engine.create_sharded m ~shards:2);
+       false
+     with Invalid_argument _ -> true)
+
 (* Same-chip locking under sharding uses the exact serial path: no
    protocol messages, no extra latency. *)
 let test_same_chip_lock_is_serial () =
@@ -391,6 +437,12 @@ let suite =
       test_shard_count_invariance;
     Alcotest.test_case "cross-chip migration timing" `Quick
       test_cross_chip_migration_timing;
+    Alcotest.test_case "cross-chip migration counters" `Quick
+      test_cross_chip_migration_counters;
+    Alcotest.test_case "mid-run spawn clamps to the window cursor" `Quick
+      test_mid_run_spawn;
+    Alcotest.test_case "wide config rejected" `Quick
+      test_wide_config_rejected;
     Alcotest.test_case "same-chip lock is serial" `Quick
       test_same_chip_lock_is_serial;
     Alcotest.test_case "remote lock round trip" `Quick
