@@ -339,6 +339,77 @@ let test_iter_assigned =
          Coretime.Object_table.iter_assigned table ~core:3 (fun o ->
              acc := !acc + o.Coretime.Object_table.size)))
 
+(* The native backend's work-stealing deque: owner push+pop kept 1-deep
+   (the common dispatch rhythm) and the thief's CAS path. Both must sit
+   within a few ns of the event queue above and allocate nothing — the
+   dummy-sentinel protocol exists so the steal loop never boxes. *)
+let test_deque_push_pop =
+  let q = O2_native.Deque.create ~dummy:(-1) () in
+  let i = ref 0 in
+  Test.make ~name:"deque/push+pop (owner)"
+    (Staged.stage (fun () ->
+         incr i;
+         O2_native.Deque.push q !i;
+         ignore (O2_native.Deque.pop q)))
+
+let test_deque_steal =
+  let q = O2_native.Deque.create ~dummy:(-1) () in
+  let i = ref 0 in
+  Test.make ~name:"deque/push+steal (thief CAS)"
+    (Staged.stage (fun () ->
+         incr i;
+         O2_native.Deque.push q !i;
+         ignore (O2_native.Deque.steal q)))
+
+(* Native-vs-simulated price of one whole kv cell: the same
+   Backend_kv program — 4 clients x 128 ops over 16 buckets — built,
+   run to quiescence and torn down per run, on the native backend (one
+   real domain: pool spawn + effect-handler dispatch + join) and on the
+   simulated machine (engine events + cache model + virtual time). The
+   ratio is the headline "what does simulation cost" number; the native
+   row's floor is dominated by Domain spawn/join. *)
+module Kv_cell (B : O2_runtime.Backend_intf.S) = struct
+  module Kv = O2_native.Backend_kv.Make (B)
+
+  let run_cell b =
+    let kv = Kv.create b ~name:"kv" ~buckets:16 ~slots_per_bucket:32 () in
+    for c = 0 to 3 do
+      let prog =
+        O2_native.Op_program.kv_program ~clients:4 ~client:c ~ops:128
+          ~keyspace:64 ~seed:7
+      in
+      B.spawn b ~core:(c mod B.cores b) ~name:"kv-client" (fun () ->
+          Array.iter
+            (fun op ->
+              ignore
+                (match op with
+                | O2_native.Op_program.Get k -> Kv.get kv ~key:k
+                | O2_native.Op_program.Put (k, v) ->
+                    if Kv.put kv ~key:k ~value:v then 1 else 0
+                | O2_native.Op_program.Delete k ->
+                    if Kv.delete kv ~key:k then 1 else 0))
+            prog)
+    done;
+    B.run b
+end
+
+module Native_kv_cell = Kv_cell (O2_native.Native_backend)
+module Sim_kv_cell = Kv_cell (O2_native.Sim_backend)
+
+let test_kv_cell_native =
+  Test.make ~name:"native/kv cell (512 ops, 1 domain)"
+    (Staged.stage (fun () ->
+         let b = O2_native.Native_backend.create ~domains:1 () in
+         Fun.protect
+           ~finally:(fun () -> O2_native.Native_backend.shutdown b)
+           (fun () -> Native_kv_cell.run_cell b)))
+
+let test_kv_cell_sim =
+  Test.make ~name:"sim/kv cell (512 ops, simulated machine)"
+    (Staged.stage (fun () ->
+         let b = O2_native.Sim_backend.create () in
+         Sim_kv_cell.run_cell b))
+
 (* Full o2staticcheck run over the repo's build tree: .cmt discovery,
    parsing, and all four typedtree passes. Prices the static stage that
    @lint-source adds to the gate; run from the repo root after a build. *)
@@ -363,6 +434,10 @@ let bechamel_tests =
     test_machine_step_sharded4;
     test_lookup;
     test_event_queue;
+    test_deque_push_pop;
+    test_deque_steal;
+    test_kv_cell_native;
+    test_kv_cell_sim;
     test_rebalancer_step 1024;
     test_rebalancer_step 16384;
     test_iter_assigned;
@@ -495,10 +570,21 @@ let run_fig4_json ~jobs path =
   Printf.printf "wrote %s\n" path;
   if identical && sharded_identical then 0 else 1
 
+(* ------------------------------------------------------------------ *)
+(* Native backend wall-clock: oracle verdicts + ops/sec ladder as JSON  *)
+
+let run_native_json ~quick path =
+  let ok =
+    O2_experiments.Native_exp.run_cli ~quick ~domains:2 ~json:(Some path)
+      Format.std_formatter
+  in
+  Format.pp_print_flush Format.std_formatter ();
+  if ok then 0 else 1
+
 let usage () =
   prerr_endline
-    "usage: bench [--quick] [--jobs N] [--bechamel | --fig4-json [FILE]] \
-     [EXPERIMENT-ID...]";
+    "usage: bench [--quick] [--jobs N] [--bechamel | --fig4-json [FILE] | \
+     --native-json [FILE]] [EXPERIMENT-ID...]";
   2
 
 let () =
@@ -506,6 +592,7 @@ let () =
   let quick = ref false in
   let bech = ref false in
   let fig4_json = ref None in
+  let native_json = ref None in
   let jobs = ref (O2_runtime.Domain_pool.default_jobs ()) in
   let ids = ref [] in
   let bad = ref false in
@@ -523,6 +610,13 @@ let () =
         parse rest
     | "--fig4-json" :: rest ->
         fig4_json := Some "BENCH_fig4.json";
+        parse rest
+    | "--native-json" :: path :: rest
+      when String.length path > 0 && path.[0] <> '-' ->
+        native_json := Some path;
+        parse rest
+    | "--native-json" :: rest ->
+        native_json := Some "BENCH_native.json";
         parse rest
     | ("--jobs" | "-j") :: n :: rest -> (
         match int_of_string_opt n with
@@ -544,9 +638,10 @@ let () =
   exit
     (if !bech then run_bechamel ()
      else
-       match !fig4_json with
-       | Some path ->
+       match (!fig4_json, !native_json) with
+       | Some path, _ ->
            (* at least 2 so the parallel leg exercises real domains even on
               a single-core machine *)
            run_fig4_json ~jobs:(max 2 !jobs) path
-       | None -> experiments ~quick:!quick ~jobs:!jobs !ids)
+       | None, Some path -> run_native_json ~quick:!quick path
+       | None, None -> experiments ~quick:!quick ~jobs:!jobs !ids)

@@ -62,6 +62,37 @@ let out_arg =
   let doc = "Also write the report to this file." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
+let backend_arg =
+  let doc =
+    "$(b,sim) (default) runs experiments on the deterministic simulated \
+     machine; $(b,native) runs the object/operation model on real OCaml 5 \
+     domains instead — wall-clock kv/dir throughput plus the \
+     simulator-as-oracle cross-check (DESIGN.md, 'Two backends, one \
+     API'). Native mode takes no experiment ids and is incompatible with \
+     $(b,--shards) and the observability flags."
+  in
+  Arg.(
+    value
+    & opt (Arg.enum [ ("sim", `Sim); ("native", `Native) ]) `Sim
+    & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let domains_arg =
+  let doc =
+    "Worker domains for $(b,--backend native), clamped to the detected \
+     core count. The throughput ladder always includes 1/2/4 (taken \
+     literally); this adds one more point and sizes the oracle run."
+  in
+  Arg.(value & opt int 2 & info [ "domains" ] ~docv:"N" ~doc)
+
+let bench_json_arg =
+  let doc =
+    "With $(b,--backend native): also write the oracle verdicts and \
+     throughput rows as JSON to $(docv) (the BENCH_native.json CI \
+     artifact)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "bench-json" ] ~docv:"FILE" ~doc)
+
 let metrics_arg =
   let doc =
     "Attach the flight recorder's metrics registry and print latency \
@@ -128,8 +159,8 @@ let explain_arg =
 
 let run_cmd =
   let doc = "Run experiments and print paper-shaped tables and figures." in
-  let run quick all jobs shards out metrics trace trace_sample occupancy
-      occupancy_interval heat heat_top explain ids =
+  let run quick all jobs shards backend domains bench_json out metrics trace
+      trace_sample occupancy occupancy_interval heat heat_top explain ids =
     if jobs < 1 then begin
       prerr_endline "o2sim: --jobs must be at least 1";
       exit 1
@@ -138,6 +169,32 @@ let run_cmd =
       prerr_endline "o2sim: --shards must be at least 0";
       exit 1
     end;
+    (match backend with
+    | `Sim ->
+        if bench_json <> None then begin
+          prerr_endline "o2sim: --bench-json requires --backend native";
+          exit 1
+        end
+    | `Native ->
+        if domains < 1 then begin
+          prerr_endline "o2sim: --domains must be at least 1";
+          exit 1
+        end;
+        if ids <> [] || all then begin
+          prerr_endline
+            "o2sim: --backend native runs its own experiment — drop the \
+             experiment ids / --all";
+          exit 1
+        end;
+        if
+          shards > 0 || metrics || trace <> None || occupancy || heat
+          || explain
+        then begin
+          prerr_endline
+            "o2sim: --backend native is incompatible with --shards and the \
+             observability flags (probes stay detached on real domains)";
+          exit 1
+        end);
     if
       shards > 0
       && (metrics || trace <> None || occupancy || heat || explain)
@@ -174,11 +231,18 @@ let run_cmd =
           prerr_endline ("o2sim: " ^ msg);
           exit 1
     in
+    let go ppf =
+      match backend with
+      | `Native ->
+          if
+            O2_experiments.Native_exp.run_cli ~quick ~domains ~json:bench_json
+              ppf
+          then Ok ()
+          else Error "native backend: oracle cross-check FAILED"
+      | `Sim -> O2_experiments.Registry.run_ids ~obs ~shards ~quick ~jobs ppf ids
+    in
     match out with
-    | None ->
-        finish Format.std_formatter
-          (O2_experiments.Registry.run_ids ~obs ~shards ~quick ~jobs
-             Format.std_formatter ids)
+    | None -> finish Format.std_formatter (go Format.std_formatter)
     | Some path ->
         let oc = open_out path in
         Fun.protect
@@ -186,10 +250,7 @@ let run_cmd =
           (fun () ->
             let buf = Buffer.create 4096 in
             let ppf = Format.formatter_of_buffer buf in
-            let result =
-              O2_experiments.Registry.run_ids ~obs ~shards ~quick ~jobs ppf
-                ids
-            in
+            let result = go ppf in
             Format.pp_print_flush ppf ();
             output_string oc (Buffer.contents buf);
             print_string (Buffer.contents buf);
@@ -198,10 +259,10 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(
-      const run $ quick_arg $ all_arg $ jobs_arg $ shards_arg $ out_arg
-      $ metrics_arg $ trace_arg $ trace_sample_arg $ occupancy_arg
-      $ occupancy_interval_arg $ heat_arg $ heat_top_arg $ explain_arg
-      $ ids_arg)
+      const run $ quick_arg $ all_arg $ jobs_arg $ shards_arg $ backend_arg
+      $ domains_arg $ bench_json_arg $ out_arg $ metrics_arg $ trace_arg
+      $ trace_sample_arg $ occupancy_arg $ occupancy_interval_arg $ heat_arg
+      $ heat_top_arg $ explain_arg $ ids_arg)
 
 let machine_cmd =
   let doc = "Describe the simulated machines." in

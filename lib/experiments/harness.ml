@@ -179,25 +179,9 @@ let run ?attach s =
    to a sequential run (each cell's RNG seeding depends only on its own
    spec). *)
 (* More worker domains than hardware cores never helps an embarrassingly
-   parallel sweep — it just adds scheduling churn (BENCH_fig4.json once
-   recorded jobs=2 running 0.81x as fast as jobs=1 on a 1-core host) — so
-   requests are clamped to the detected core count, noisily. *)
-let clamp_logged = ref false
-
-let effective_jobs ~jobs =
-  let avail = O2_runtime.Domain_pool.default_jobs () in
-  if jobs <= avail then jobs
-  else begin
-    if not !clamp_logged then begin
-      clamp_logged := true;
-      Printf.eprintf
-        "harness: clamping jobs=%d to the %d core(s) \
-         Domain.recommended_domain_count reports — extra domains only slow \
-         sweeps down\n%!"
-        jobs avail
-    end;
-    avail
-  end
+   parallel sweep, so requests clamp to the detected core count through
+   the shared [Domain_pool.clamped] (which owns the noisy diagnostic). *)
+let effective_jobs ~jobs = O2_runtime.Domain_pool.clamped ~what:"harness" jobs
 
 let run_cells ?attach ~jobs setups =
   match attach with

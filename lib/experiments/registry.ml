@@ -116,6 +116,17 @@ let all =
       run = (fun ~quick ~jobs:_ ~obs:_ ~shards:_ ppf -> Btree_exp.run ~quick ppf);
     };
     {
+      id = "native";
+      title = "Native backend: wall-clock ops/sec + simulator oracle";
+      paper_ref = "Section 3, 'Implementation'";
+      default_set = false;
+      (* Wall-clock, real domains: the sweep-parallelism and sharding
+         knobs don't apply, and probes stay detached. *)
+      run =
+        (fun ~quick ~jobs:_ ~obs:_ ~shards:_ ppf ->
+          ignore (Native_exp.run ~quick ~domains:2 ppf));
+    };
+    {
       id = "future";
       title = "A future 64-core multicore";
       paper_ref = "Section 6.1";

@@ -1,0 +1,106 @@
+let slot_bytes = 16 (* 8-byte key + 8-byte value, as in Kv_store *)
+
+module Make (B : O2_runtime.Backend_intf.S) = struct
+  type bucket = {
+    obj : int;  (* backend object handle *)
+    keys : int array;
+    values : int array;
+    mutable used : int;
+  }
+
+  type t = { b : B.t; bucket_arr : bucket array; slots : int }
+
+  let create b ~name ~buckets ~slots_per_bucket () =
+    if buckets <= 0 || slots_per_bucket <= 0 then
+      invalid_arg "Backend_kv.create: buckets and slots must be positive";
+    let bucket_bytes = slots_per_bucket * slot_bytes in
+    let make_bucket i =
+      {
+        obj =
+          B.register b ~size:bucket_bytes
+            ~name:(Printf.sprintf "%s.b%d" name i);
+        keys = Array.make slots_per_bucket 0;
+        values = Array.make slots_per_bucket 0;
+        used = 0;
+      }
+    in
+    { b; bucket_arr = Array.init buckets make_bucket; slots = slots_per_bucket }
+
+  let buckets t = Array.length t.bucket_arr
+
+  let bucket_of_key t key =
+    let h = key * 0x2545F491 land max_int in
+    h mod buckets t
+
+  let bucket_obj t i = t.bucket_arr.(i).obj
+
+  (* Pure probe: the slot holding [key], or -1. No backend calls — see
+     the .mli on why the logical section must stay effect-free. *)
+  let scan bk ~key =
+    let rec go i =
+      if i >= bk.used then -1 else if bk.keys.(i) = key then i else go (i + 1)
+    in
+    go 0
+
+  (* The cost a linear probe of [probed] slots would incur, charged once
+     the logical section is decided (mirrors Kv_store.scan_sim). *)
+  let charge t bk ~probed ~wrote =
+    if probed > 0 then
+      B.touch t.b ~write:false ~obj:bk.obj ~off:0 ~len:(probed * slot_bytes);
+    B.compute t.b (2 * max probed 1);
+    if wrote >= 0 then
+      B.touch t.b ~write:true ~obj:bk.obj ~off:(wrote * slot_bytes)
+        ~len:slot_bytes
+
+  let get t ~key =
+    let bk = t.bucket_arr.(bucket_of_key t key) in
+    B.with_op t.b bk.obj (fun () ->
+        let i = scan bk ~key in
+        let result = if i >= 0 then bk.values.(i) else -1 in
+        let probed = if i >= 0 then i + 1 else bk.used in
+        charge t bk ~probed ~wrote:(-1);
+        result)
+
+  let put t ~key ~value =
+    let bk = t.bucket_arr.(bucket_of_key t key) in
+    B.with_op t.b ~write:true bk.obj (fun () ->
+        let i = scan bk ~key in
+        let probed = if i >= 0 then i + 1 else bk.used in
+        let wrote =
+          if i >= 0 then begin
+            bk.values.(i) <- value;
+            i
+          end
+          else if bk.used >= t.slots then -1
+          else begin
+            let i = bk.used in
+            bk.keys.(i) <- key;
+            bk.values.(i) <- value;
+            bk.used <- i + 1;
+            i
+          end
+        in
+        charge t bk ~probed ~wrote;
+        wrote >= 0)
+
+  let delete t ~key =
+    let bk = t.bucket_arr.(bucket_of_key t key) in
+    B.with_op t.b ~write:true bk.obj (fun () ->
+        let i = scan bk ~key in
+        let probed = if i >= 0 then i + 1 else bk.used in
+        if i < 0 then begin
+          charge t bk ~probed ~wrote:(-1);
+          false
+        end
+        else begin
+          let last = bk.used - 1 in
+          bk.keys.(i) <- bk.keys.(last);
+          bk.values.(i) <- bk.values.(last);
+          bk.used <- last;
+          charge t bk ~probed ~wrote:i;
+          true
+        end)
+
+  let size t =
+    Array.fold_left (fun acc bk -> acc + bk.used) 0 t.bucket_arr
+end

@@ -1,0 +1,110 @@
+(* Chase–Lev work-stealing deque (Chase & Lev, SPAA'05; load/store
+   orderings per Lê et al., PPoPP'13). OCaml [Atomic] reads and writes
+   are sequentially consistent, which subsumes every fence the weaker
+   formulations need; the correctness-critical orderings are
+
+   - [pop] publishes its [bottom] decrement before reading [top], and
+   - [steal] reads [top] before [bottom],
+
+   so a thief that observed [top = n] can never pair it with a [bottom]
+   value older than the owner's decrement to [n] (the SC total order
+   forbids it), and the element at [bottom] is never both popped and
+   stolen.
+
+   The ring is a { mask; slots } record swapped through one Atomic on
+   grow. Slots themselves are plain: the owner's slot write is published
+   to thieves by the subsequent [bottom] store (release via SC), and a
+   thief holding a stale ring still reads the element the owner copied
+   there — grow copies by logical index, and the thief's CAS on [top]
+   validates that the element was not consumed meanwhile. Thieves never
+   write slots (a slow thief's write could clobber an owner push that
+   reused the physical slot); only the owner clears consumed slots back
+   to [dummy] so the GC can collect finished tasks. *)
+
+type 'a ring = { mask : int; slots : 'a array }
+
+type 'a t = {
+  dummy : 'a;
+  top : int Atomic.t;  (* next index thieves take; CAS to advance *)
+  bottom : int Atomic.t;  (* next index the owner pushes; owner-written *)
+  ring : 'a ring Atomic.t;
+}
+
+let create ?(capacity = 64) ~dummy () =
+  if capacity < 1 then invalid_arg "Deque.create: capacity must be >= 1";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    dummy;
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    ring = Atomic.make { mask = !cap - 1; slots = Array.make !cap dummy };
+  }
+
+(* Owner only. Doubles the ring, copying live elements by logical index,
+   and publishes it before any new element lands in it. *)
+let grow t r ~top ~bottom =
+  let size = (r.mask + 1) * 2 in
+  let slots = Array.make size t.dummy in
+  let mask = size - 1 in
+  for i = top to bottom - 1 do
+    slots.(i land mask) <- r.slots.(i land r.mask)
+  done;
+  let r' = { mask; slots } in
+  Atomic.set t.ring r';
+  r'
+
+let push t v =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let r = Atomic.get t.ring in
+  let r = if b - tp > r.mask then grow t r ~top:tp ~bottom:b else r in
+  r.slots.(b land r.mask) <- v;
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  let r = Atomic.get t.ring in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if tp > b then begin
+    (* Empty: undo the reservation. *)
+    Atomic.set t.bottom (b + 1);
+    t.dummy
+  end
+  else if tp < b then begin
+    (* At least two elements: index [b] is unreachable by thieves. *)
+    let v = r.slots.(b land r.mask) in
+    r.slots.(b land r.mask) <- t.dummy;
+    v
+  end
+  else begin
+    (* Last element: race thieves for it via the CAS on [top]. *)
+    let v = r.slots.(b land r.mask) in
+    let won = Atomic.compare_and_set t.top tp (tp + 1) in
+    Atomic.set t.bottom (b + 1);
+    if won then begin
+      r.slots.(b land r.mask) <- t.dummy;
+      v
+    end
+    else t.dummy
+  end
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then t.dummy
+  else begin
+    let r = Atomic.get t.ring in
+    let v = r.slots.(tp land r.mask) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then v else t.dummy
+  end
+
+let length t =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  if b > tp then b - tp else 0
+
+let is_empty t = length t = 0

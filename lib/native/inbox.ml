@@ -1,0 +1,64 @@
+(* Treiber-stack MPSC inbox. Producers CAS cells onto [head]; the
+   consumer detaches the whole chain with one [Atomic.exchange] (an
+   acquire: every plain write the producers made before their CAS is
+   visible once the exchange returns their cells) and replays it oldest
+   first. The chain arrives newest-first, so the drain fills a
+   consumer-owned scratch array back to front and then walks it
+   forward; the helpers are top-level so the loop builds no closures. *)
+
+type 'a node = Nil | Cons of 'a * 'a node
+
+type 'a t = {
+  dummy : 'a;
+  head : 'a node Atomic.t;
+  mutable scratch : 'a array;  (* consumer-owned; grows, never shrinks *)
+}
+
+let create ~dummy () =
+  { dummy; head = Atomic.make Nil; scratch = Array.make 64 dummy }
+
+let push t v =
+  let rec go () =
+    let h = Atomic.get t.head in
+    if not (Atomic.compare_and_set t.head h (Cons (v, h))) then go ()
+  in
+  go ()
+
+let rec chain_length n = function
+  | Nil -> n
+  | Cons (_, rest) -> chain_length (n + 1) rest
+
+(* Newest-first chain -> scratch.(0 .. n-1) oldest-first. *)
+let rec fill_scratch s i = function
+  | Nil -> ()
+  | Cons (v, rest) ->
+      s.(i) <- v;
+      fill_scratch s (i - 1) rest
+
+let rec apply_scratch s dummy f i n =
+  if i < n then begin
+    let v = s.(i) in
+    s.(i) <- dummy;
+    f v;
+    apply_scratch s dummy f (i + 1) n
+  end
+
+let grow_scratch t n =
+  let cap = ref (Array.length t.scratch) in
+  while !cap < n do
+    cap := !cap * 2
+  done;
+  t.scratch <- Array.make !cap t.dummy
+
+let drain_into t f =
+  match Atomic.exchange t.head Nil with
+  | Nil -> 0
+  | chain ->
+      let n = chain_length 0 chain in
+      if n > Array.length t.scratch then grow_scratch t n;
+      let s = t.scratch in
+      fill_scratch s (n - 1) chain;
+      apply_scratch s t.dummy f 0 n;
+      n
+
+let is_empty t = match Atomic.get t.head with Nil -> true | Cons _ -> false

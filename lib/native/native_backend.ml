@@ -1,0 +1,232 @@
+(* Counter layout: everything hot is a per-domain row written only by
+   its owning worker (ops_by_obj, submits, dstats), so the hot path has
+   no contended atomics at all. Rows are summed by the coordinator only
+   at quiescence; [home] is plain too — written only inside [rebalance]
+   (inflight = 0, no worker executing clients) and published to workers
+   by the next spawn's inbox CAS / drain exchange pair. *)
+
+type dstats = {
+  mutable ops : int;
+  mutable ships_out : int;
+  mutable ships_in : int;
+}
+
+type t = {
+  pool : Native_pool.t;
+  n : int;  (* pool domains *)
+  probe : O2_runtime.Probe.t;
+  mutable nobjs : int;
+  mutable home_ : int array;  (* obj -> home domain *)
+  mutable names : string array;
+  mutable sizes : int array;
+  mutable ops_by_obj : int array array;  (* [domain].(obj), owner-written *)
+  mutable submits : int array array;  (* [domain].(obj), owner-written *)
+  mutable submits_snap : int array array;  (* coordinator-owned snapshot *)
+  stats : dstats array;  (* per-domain, owner-written *)
+  mutable migrations_ : int;
+  mutable periods : int;  (* completed rebalance steps *)
+}
+
+let create ~domains () =
+  let pool = Native_pool.create ~domains in
+  {
+    pool;
+    n = domains;
+    probe = O2_runtime.Probe.create ();
+    nobjs = 0;
+    home_ = Array.make 16 0;
+    names = Array.make 16 "";
+    sizes = Array.make 16 0;
+    ops_by_obj = Array.init domains (fun _ -> Array.make 16 0);
+    submits = Array.init domains (fun _ -> Array.make 16 0);
+    submits_snap = Array.init domains (fun _ -> Array.make 16 0);
+    stats = Array.init domains (fun _ -> { ops = 0; ships_out = 0; ships_in = 0 });
+    migrations_ = 0;
+    periods = 0;
+  }
+
+let shutdown t = Native_pool.shutdown t.pool
+let pool t = t.pool
+let name _ = "native"
+let cores t = t.n
+let probe t = t.probe
+let objects t = t.nobjs
+let home t o = t.home_.(o)
+
+let grow_int_array a cap =
+  let a' = Array.make cap 0 in
+  Array.blit a 0 a' 0 (Array.length a);
+  a'
+
+let ensure_capacity t =
+  let cap = Array.length t.home_ in
+  if t.nobjs >= cap then begin
+    let cap' = cap * 2 in
+    t.home_ <- grow_int_array t.home_ cap';
+    t.sizes <- grow_int_array t.sizes cap';
+    let names = Array.make cap' "" in
+    Array.blit t.names 0 names 0 cap;
+    t.names <- names;
+    t.ops_by_obj <- Array.map (fun r -> grow_int_array r cap') t.ops_by_obj;
+    t.submits <- Array.map (fun r -> grow_int_array r cap') t.submits;
+    t.submits_snap <- Array.map (fun r -> grow_int_array r cap') t.submits_snap
+  end
+
+let register t ~size ~name =
+  if size <= 0 then invalid_arg "Native_backend.register: size must be > 0";
+  if Native_pool.current_domain t.pool >= 0 then
+    invalid_arg "Native_backend.register: must be called off-pool";
+  ensure_capacity t;
+  let o = t.nobjs in
+  t.nobjs <- o + 1;
+  t.home_.(o) <- o mod t.n;
+  t.sizes.(o) <- size;
+  t.names.(o) <- name;
+  o
+
+let spawn t ~core ~name body = Native_pool.spawn t.pool ~core ~name body
+let run t = Native_pool.drain t.pool
+
+let with_op t ?write:_ obj f =
+  let me = Native_pool.current_domain t.pool in
+  if me < 0 then
+    invalid_arg "Native_backend.with_op: called outside a pool worker";
+  if obj < 0 || obj >= t.nobjs then
+    invalid_arg "Native_backend.with_op: unknown object";
+  let row = t.submits.(me) in
+  row.(obj) <- row.(obj) + 1;
+  let h = t.home_.(obj) in
+  if h <> me then begin
+    let s = t.stats.(me) in
+    s.ships_out <- s.ships_out + 1;
+    O2_runtime.Api.ship_to h;
+    (* The continuation resumed on the home's worker; from here until
+       the next ship, everything runs there. *)
+    let s = t.stats.(h) in
+    s.ships_in <- s.ships_in + 1
+  end;
+  let here = Native_pool.current_domain t.pool in
+  let orow = t.ops_by_obj.(here) in
+  orow.(obj) <- orow.(obj) + 1;
+  let r = f () in
+  let s = t.stats.(here) in
+  s.ops <- s.ops + 1;
+  r
+
+let touch _t ~write:_ ~obj:_ ~off:_ ~len:_ = ()
+
+let compute _t cycles =
+  for _ = 1 to cycles do
+    ignore (Sys.opaque_identity 0)
+  done
+
+let ops_completed t = Array.fold_left (fun acc s -> acc + s.ops) 0 t.stats
+
+let object_ops t o =
+  let acc = ref 0 in
+  for d = 0 to t.n - 1 do
+    acc := !acc + t.ops_by_obj.(d).(o)
+  done;
+  !acc
+
+let ships t =
+  let out = ref 0 and in_ = ref 0 in
+  Array.iter
+    (fun s ->
+      out := !out + s.ships_out;
+      in_ := !in_ + s.ships_in)
+    t.stats;
+  (!out, !in_)
+
+let migrations t = t.migrations_
+
+(* Submit delta for [o] from domain [d] since the last snapshot. *)
+let delta t d o = t.submits.(d).(o) - t.submits_snap.(d).(o)
+
+let rebalance t =
+  if Native_pool.current_domain t.pool >= 0 then
+    invalid_arg "Native_backend.rebalance: must run at a quiesce point";
+  let moves = ref 0 in
+  (* Pass 1 — affinity: home := the domain that submitted most ops this
+     period (ties to the lower index; untouched objects stay put). *)
+  for o = 0 to t.nobjs - 1 do
+    let best = ref (-1) and best_n = ref 0 in
+    for d = 0 to t.n - 1 do
+      let n = delta t d o in
+      if n > !best_n then begin
+        best := d;
+        best_n := n
+      end
+    done;
+    if !best >= 0 && !best <> t.home_.(o) then begin
+      t.home_.(o) <- !best;
+      incr moves
+    end
+  done;
+  (* Pass 2 — spill: while a home carries more than ~1.5x the average
+     period load, move its coldest active objects to the least loaded
+     domain. Deterministic: ascending object scans, ties to lower
+     indices; bounded by one pass over the objects. *)
+  let load = Array.make t.n 0 in
+  let total = ref 0 in
+  for o = 0 to t.nobjs - 1 do
+    let w = ref 0 in
+    for d = 0 to t.n - 1 do
+      w := !w + delta t d o
+    done;
+    load.(t.home_.(o)) <- load.(t.home_.(o)) + !w;
+    total := !total + !w
+  done;
+  let cap = (!total * 3 / (2 * t.n)) + 1 in
+  let arg_extreme better =
+    let best = ref 0 in
+    for d = 1 to t.n - 1 do
+      if better load.(d) load.(!best) then best := d
+    done;
+    !best
+  in
+  let budget = ref t.nobjs in
+  let continue_ = ref (t.n > 1) in
+  while !continue_ && !budget > 0 do
+    let hot = arg_extreme ( > ) in
+    if load.(hot) <= cap then continue_ := false
+    else begin
+      (* The coldest active object homed on [hot]. *)
+      let victim = ref (-1) and victim_w = ref max_int in
+      for o = 0 to t.nobjs - 1 do
+        if t.home_.(o) = hot then begin
+          let w = ref 0 in
+          for d = 0 to t.n - 1 do
+            w := !w + delta t d o
+          done;
+          if !w > 0 && !w < !victim_w then begin
+            victim := o;
+            victim_w := !w
+          end
+        end
+      done;
+      if !victim < 0 then continue_ := false
+      else begin
+        let cold = arg_extreme ( < ) in
+        if cold = hot || load.(hot) - !victim_w < load.(cold) + !victim_w
+        then continue_ := false
+        else begin
+          t.home_.(!victim) <- cold;
+          load.(hot) <- load.(hot) - !victim_w;
+          load.(cold) <- load.(cold) + !victim_w;
+          incr moves;
+          decr budget
+        end
+      end
+    end
+  done;
+  (* Close the period: snapshot submits, publish counters. *)
+  for d = 0 to t.n - 1 do
+    Array.blit t.submits.(d) 0 t.submits_snap.(d) 0 t.nobjs
+  done;
+  t.migrations_ <- t.migrations_ + !moves;
+  t.periods <- t.periods + 1;
+  if O2_runtime.Probe.active t.probe then
+    O2_runtime.Probe.emit t.probe
+      (O2_runtime.Probe.Rebalanced
+         { time = t.periods; moves = !moves; demotions = 0 })

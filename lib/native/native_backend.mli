@@ -1,0 +1,56 @@
+(** The native backend: the O2 object/operation model on real domains.
+
+    Implements {!O2_runtime.Backend_intf.S} over a {!Native_pool}. Every
+    registered object has a {e home domain}; an operation submitted from
+    anywhere else is shipped — [Api.ship_to] captures the client's
+    continuation and posts it to the home's inbox — so object state is
+    only ever touched by its home domain's worker. That single-writer
+    discipline is the backend's whole data-race story: no per-object
+    locks, and ops on one object execute in inbox FIFO order.
+
+    The monitor is a quiesce-point rebalancer: {!rebalance} may only run
+    between {!run} batches (inflight = 0), when no client is executing,
+    so re-homing never races an op in flight and per-object op order is
+    preserved across the move. It re-homes each object to its dominant
+    submitting domain since the last call and then spills load off
+    overloaded homes — the wall-clock analogue of the simulator's
+    periodic {!Coretime.Rebalancer}. *)
+
+type t
+
+val create : domains:int -> unit -> t
+(** Spawns the worker pool (see {!Native_pool.create} — the count is
+    taken literally; clamp at the CLI with
+    {!O2_runtime.Domain_pool.clamped}). Freshly registered objects are
+    homed round-robin across domains until the monitor moves them. *)
+
+val shutdown : t -> unit
+(** Join the pool. Required before discarding the backend; idempotent. *)
+
+val rebalance : t -> unit
+(** One monitor step at a quiesce point. Re-homes objects to their
+    dominant submitter, spills overloaded homes to the least loaded
+    domain, snapshots the submit counters for the next period, and emits
+    [Probe.Rebalanced] when the probe is active.
+    @raise Invalid_argument if called from a pool worker. *)
+
+val pool : t -> Native_pool.t
+val home : t -> int -> int
+(** The object's current home domain. *)
+
+(** The {!O2_runtime.Backend_intf.S} surface. *)
+
+val name : t -> string
+val cores : t -> int
+val probe : t -> O2_runtime.Probe.t
+val register : t -> size:int -> name:string -> int
+val objects : t -> int
+val spawn : t -> core:int -> name:string -> (unit -> unit) -> unit
+val with_op : t -> ?write:bool -> int -> (unit -> 'a) -> 'a
+val touch : t -> write:bool -> obj:int -> off:int -> len:int -> unit
+val compute : t -> int -> unit
+val run : t -> unit
+val ops_completed : t -> int
+val object_ops : t -> int -> int
+val ships : t -> int * int
+val migrations : t -> int

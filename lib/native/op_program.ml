@@ -1,0 +1,52 @@
+type op = Get of int | Put of int * int | Delete of int
+
+(* xorshift64*, truncated to OCaml's 63-bit int. Self-contained so the
+   native library stays independent of lib/workload's Rng. *)
+type rng = { mutable s : int }
+
+let make_rng seed = { s = (if seed = 0 then 0x2545F4914F6CDD1D else seed) }
+
+let next r =
+  let s = r.s in
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) in
+  r.s <- s;
+  s land max_int
+
+let below r bound = next r mod bound
+
+let kv_program ~clients ~client ~ops ~keyspace ~seed =
+  if clients <= 0 || ops < 0 then
+    invalid_arg "Op_program.kv_program: counts must be positive";
+  if client < 0 || client >= clients then
+    invalid_arg "Op_program.kv_program: client out of range";
+  if keyspace < clients then
+    invalid_arg "Op_program.kv_program: keyspace must cover every client";
+  let r = make_rng (seed + (0x1000 * client) + 1) in
+  let own_keys = (keyspace - client + clients - 1) / clients in
+  let key () = client + (clients * below r own_keys) in
+  Array.init ops (fun _ ->
+      let roll = below r 100 in
+      if roll < 60 then Get (key ())
+      else if roll < 90 then Put (key (), below r 1_000_000)
+      else Delete (key ()))
+
+let kv_result op ~raw = match op with Get _ -> raw + 1 | _ -> raw
+
+let dir_program ~dirs ~entries_per_dir ~ops ~seed =
+  if dirs <= 0 || entries_per_dir <= 0 || ops < 0 then
+    invalid_arg "Op_program.dir_program: counts must be positive";
+  let r = make_rng (seed + 0x5eed) in
+  Array.init ops (fun _ -> (below r dirs, below r (entries_per_dir + 4)))
+
+let max_bucket_load ~buckets ~keyspace =
+  if buckets <= 0 || keyspace <= 0 then
+    invalid_arg "Op_program.max_bucket_load: counts must be positive";
+  let load = Array.make buckets 0 in
+  for key = 0 to keyspace - 1 do
+    let h = key * 0x2545F491 land max_int in
+    let b = h mod buckets in
+    load.(b) <- load.(b) + 1
+  done;
+  Array.fold_left max 0 load

@@ -1,0 +1,226 @@
+type report = {
+  ok : bool;
+  domains : int;
+  total_ops : int;
+  native_ships : int * int;
+  native_migrations : int;
+  native_steals : int;
+  mismatches : string list;
+}
+
+(* One backend's observable outcome of a full multi-round run. *)
+type outcome = {
+  results : int array array array;  (* round -> client -> per-op result *)
+  ops : int;
+  per_object : int array;
+  o_ships : int * int;
+  o_migrations : int;
+  store_size : int;
+}
+
+module Run_kv (B : O2_runtime.Backend_intf.S) = struct
+  module Kv = Backend_kv.Make (B)
+
+  let go b ~clients ~ops_per_client ~rounds ~buckets ~slots_per_bucket
+      ~keyspace ~seed ~between_rounds =
+    let kv = Kv.create b ~name:"kv" ~buckets ~slots_per_bucket () in
+    let results =
+      Array.init rounds (fun _ ->
+          Array.init clients (fun _ -> Array.make ops_per_client 0))
+    in
+    for round = 0 to rounds - 1 do
+      for c = 0 to clients - 1 do
+        let prog =
+          Op_program.kv_program ~clients ~client:c ~ops:ops_per_client
+            ~keyspace
+            ~seed:(seed + (7919 * round))
+        in
+        let out = results.(round).(c) in
+        (* Not [c mod cores]: the store's odd multiplicative hash
+           preserves [key mod 2^k], so with round-robin bucket homes that
+           placement would park every client exactly on its own keys'
+           home domain and the kv check would never ship. The stride-5
+           offset placement breaks the alignment (results are placement-
+           independent either way — that is the whole point of key
+           ownership). *)
+        B.spawn b ~core:(((c * 5) + 3) mod B.cores b)
+          ~name:(Printf.sprintf "kv-client-%d" c)
+          (fun () ->
+            Array.iteri
+              (fun i op ->
+                let raw =
+                  match op with
+                  | Op_program.Get k -> Kv.get kv ~key:k
+                  | Op_program.Put (k, v) ->
+                      if Kv.put kv ~key:k ~value:v then 1 else 0
+                  | Op_program.Delete k ->
+                      if Kv.delete kv ~key:k then 1 else 0
+                in
+                out.(i) <- Op_program.kv_result op ~raw)
+              prog)
+      done;
+      B.run b;
+      between_rounds ()
+    done;
+    {
+      results;
+      ops = B.ops_completed b;
+      per_object = Array.init (B.objects b) (fun o -> B.object_ops b o);
+      o_ships = B.ships b;
+      o_migrations = B.migrations b;
+      store_size = Kv.size kv;
+    }
+end
+
+module Run_dir (B : O2_runtime.Backend_intf.S) = struct
+  module Dir = Backend_dir.Make (B)
+
+  let go b ~clients ~ops_per_client ~rounds ~dirs ~entries_per_dir ~seed
+      ~between_rounds =
+    let d = Dir.create b ~name:"dir" ~dirs ~entries_per_dir () in
+    let results =
+      Array.init rounds (fun _ ->
+          Array.init clients (fun _ -> Array.make ops_per_client 0))
+    in
+    for round = 0 to rounds - 1 do
+      for c = 0 to clients - 1 do
+        let prog =
+          Op_program.dir_program ~dirs ~entries_per_dir ~ops:ops_per_client
+            ~seed:(seed + (7919 * round) + (97 * c))
+        in
+        let out = results.(round).(c) in
+        B.spawn b ~core:(c mod B.cores b)
+          ~name:(Printf.sprintf "dir-client-%d" c)
+          (fun () ->
+            Array.iteri
+              (fun i (dir, key) -> out.(i) <- 1 + Dir.lookup d ~dir ~key)
+              prog)
+      done;
+      B.run b;
+      between_rounds ()
+    done;
+    {
+      results;
+      ops = B.ops_completed b;
+      per_object = Array.init (B.objects b) (fun o -> B.object_ops b o);
+      o_ships = B.ships b;
+      o_migrations = B.migrations b;
+      store_size = 0;
+    }
+end
+
+module Sim_kv = Run_kv (Sim_backend)
+module Nat_kv = Run_kv (Native_backend)
+module Sim_dir = Run_dir (Sim_backend)
+module Nat_dir = Run_dir (Native_backend)
+
+let compare_outcomes ~expected_ops sim nat =
+  let mismatches = ref [] in
+  let fail fmt = Format.kasprintf (fun s -> mismatches := s :: !mismatches) fmt in
+  if sim.ops <> expected_ops then
+    fail "sim completed %d ops, expected %d" sim.ops expected_ops;
+  if nat.ops <> expected_ops then
+    fail "native completed %d ops, expected %d" nat.ops expected_ops;
+  if sim.store_size <> nat.store_size then
+    fail "final store size: sim %d vs native %d" sim.store_size nat.store_size;
+  if Array.length sim.per_object <> Array.length nat.per_object then
+    fail "object count: sim %d vs native %d"
+      (Array.length sim.per_object)
+      (Array.length nat.per_object)
+  else
+    Array.iteri
+      (fun o s ->
+        if s <> nat.per_object.(o) then
+          fail "object %d op count: sim %d vs native %d" o s
+            nat.per_object.(o))
+      sim.per_object;
+  let out, in_ = nat.o_ships in
+  if out <> in_ then fail "native ship balance: %d out vs %d in" out in_;
+  Array.iteri
+    (fun round sim_clients ->
+      Array.iteri
+        (fun c sim_ops ->
+          let nat_ops = nat.results.(round).(c) in
+          Array.iteri
+            (fun i s ->
+              if s <> nat_ops.(i) then
+                fail "round %d client %d op %d: sim %d vs native %d" round c
+                  i s nat_ops.(i))
+            sim_ops)
+        sim_clients)
+    sim.results;
+  List.rev !mismatches
+
+let finish ~domains ~expected_ops ~steals sim nat =
+  let mismatches = compare_outcomes ~expected_ops sim nat in
+  {
+    ok = mismatches = [];
+    domains;
+    total_ops = expected_ops;
+    native_ships = nat.o_ships;
+    native_migrations = nat.o_migrations;
+    native_steals = steals;
+    mismatches;
+  }
+
+let kv_cross_check ?(clients = 8) ?(ops_per_client = 240) ?(rounds = 3)
+    ?(buckets = 16) ?(slots_per_bucket = 32) ?(keyspace = 128) ?(seed = 42)
+    ~domains () =
+  if clients <= 0 || ops_per_client <= 0 || rounds <= 0 then
+    invalid_arg "Oracle.kv_cross_check: counts must be positive";
+  if keyspace < clients then
+    invalid_arg "Oracle.kv_cross_check: keyspace must cover every client";
+  let worst = Op_program.max_bucket_load ~buckets ~keyspace in
+  if worst > slots_per_bucket then
+    invalid_arg
+      (Printf.sprintf
+         "Oracle.kv_cross_check: a bucket can receive %d distinct keys but \
+          only has %d slots — results would depend on the schedule"
+         worst slots_per_bucket);
+  let sim =
+    Sim_kv.go (Sim_backend.create ()) ~clients ~ops_per_client ~rounds
+      ~buckets ~slots_per_bucket ~keyspace ~seed ~between_rounds:ignore
+  in
+  let nb = Native_backend.create ~domains () in
+  Fun.protect
+    ~finally:(fun () -> Native_backend.shutdown nb)
+    (fun () ->
+      let nat =
+        Nat_kv.go nb ~clients ~ops_per_client ~rounds ~buckets
+          ~slots_per_bucket ~keyspace ~seed ~between_rounds:(fun () ->
+            Native_backend.rebalance nb)
+      in
+      finish ~domains
+        ~expected_ops:(clients * ops_per_client * rounds)
+        ~steals:(Native_pool.steals (Native_backend.pool nb))
+        sim nat)
+
+let dir_cross_check ?(clients = 8) ?(ops_per_client = 160) ?(rounds = 2)
+    ?(dirs = 24) ?(entries_per_dir = 48) ?(seed = 42) ~domains () =
+  if clients <= 0 || ops_per_client <= 0 || rounds <= 0 then
+    invalid_arg "Oracle.dir_cross_check: counts must be positive";
+  let sim =
+    Sim_dir.go (Sim_backend.create ()) ~clients ~ops_per_client ~rounds ~dirs
+      ~entries_per_dir ~seed ~between_rounds:ignore
+  in
+  let nb = Native_backend.create ~domains () in
+  Fun.protect
+    ~finally:(fun () -> Native_backend.shutdown nb)
+    (fun () ->
+      let nat =
+        Nat_dir.go nb ~clients ~ops_per_client ~rounds ~dirs ~entries_per_dir
+          ~seed ~between_rounds:(fun () -> Native_backend.rebalance nb)
+      in
+      finish ~domains
+        ~expected_ops:(clients * ops_per_client * rounds)
+        ~steals:(Native_pool.steals (Native_backend.pool nb))
+        sim nat)
+
+let pp_report ppf r =
+  let out, in_ = r.native_ships in
+  Format.fprintf ppf
+    "oracle %s: domains=%d ops=%d ships=%d/%d migrations=%d steals=%d"
+    (if r.ok then "OK" else "MISMATCH")
+    r.domains r.total_ops out in_ r.native_migrations r.native_steals;
+  if not r.ok then
+    List.iter (fun m -> Format.fprintf ppf "@.  %s" m) r.mismatches

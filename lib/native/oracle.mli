@@ -1,0 +1,54 @@
+(** The simulator-as-oracle cross-check.
+
+    Runs the {e same} workload program — same functor, same generated op
+    sequences — on the simulator backend and on the native backend, and
+    compares everything the two must agree on: per-client per-op result
+    arrays (bit-identical), total completed ops, per-object op counts,
+    final store size, plus the native backend's internal invariants
+    (ships out = ships in). What it deliberately does {e not} pin:
+    schedules, ship counts across backends, or which monitor moved what
+    — see DESIGN.md, "Two backends, one API". *)
+
+type report = {
+  ok : bool;
+  domains : int;  (** Native worker domains the check ran with. *)
+  total_ops : int;  (** Agreed completed-op count (when [ok]). *)
+  native_ships : int * int;  (** (out, in) on the native side. *)
+  native_migrations : int;  (** Quiesce-point re-homings performed. *)
+  native_steals : int;  (** Successful deque steals (telemetry). *)
+  mismatches : string list;  (** Human-readable; empty iff [ok]. *)
+}
+
+val kv_cross_check :
+  ?clients:int ->
+  ?ops_per_client:int ->
+  ?rounds:int ->
+  ?buckets:int ->
+  ?slots_per_bucket:int ->
+  ?keyspace:int ->
+  ?seed:int ->
+  domains:int ->
+  unit ->
+  report
+(** Defaults: 8 clients x 240 ops x 3 rounds over 128 keys in 16
+    buckets of 32 slots. Validates up front (via
+    {!Op_program.max_bucket_load}) that no bucket can overflow — the
+    precondition for schedule-independent [put] results — and that
+    clients <= keyspace. The native monitor runs between rounds; the
+    simulator's runs on virtual time as usual.
+    @raise Invalid_argument if the sizing precondition fails. *)
+
+val dir_cross_check :
+  ?clients:int ->
+  ?ops_per_client:int ->
+  ?rounds:int ->
+  ?dirs:int ->
+  ?entries_per_dir:int ->
+  ?seed:int ->
+  domains:int ->
+  unit ->
+  report
+(** Read-only analogue over {!Backend_dir}; defaults: 8 clients x 160
+    lookups x 2 rounds over 24 directories of 48 entries. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -19,6 +19,28 @@ type t = {
 let default_jobs () = Domain.recommended_domain_count ()
 let jobs t = t.jobs
 
+(* More domains than hardware cores never helps — parallel sweeps just
+   pick up scheduling churn (BENCH_fig4.json once recorded jobs=2 running
+   0.81x as fast as jobs=1 on a 1-core host) and the native backend adds
+   stealing traffic between workers that time-share a core — so every
+   request funnels through this clamp. One warning per [what] label per
+   process: a sweep re-clamps per batch and the CLI per run. *)
+let clamp_warned : (string, unit) Hashtbl.t = Hashtbl.create 4
+
+let clamped ~what requested =
+  let avail = default_jobs () in
+  if requested <= avail then requested
+  else begin
+    if not (Hashtbl.mem clamp_warned what) then begin
+      Hashtbl.add clamp_warned what ();
+      Printf.eprintf
+        "%s: clamping %d to the %d core(s) Domain.recommended_domain_count \
+         reports — extra domains only slow things down\n%!"
+        what requested avail
+    end;
+    avail
+  end
+
 let rec worker t =
   Mutex.lock t.m;
   while Queue.is_empty t.tasks && not t.stop do

@@ -28,6 +28,13 @@ val jobs : t -> int
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: the detected core count. *)
 
+val clamped : what:string -> int -> int
+(** [clamped ~what n] is [min n (default_jobs ())], warning on stderr
+    (once per process per [what] label) when it actually clamps.
+    Oversubscribing real domains never speeds anything up — the experiment
+    harness and the native backend's domain ladder both clamp through
+    here so the diagnostic reads the same everywhere. *)
+
 val run : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [run t f xs] applies [f] to every element of [xs], using every domain
     of the pool plus the calling domain, and returns the results {e in

@@ -70,6 +70,21 @@ let default =
       functions = [ "step"; "demotion_pressure"; "decisions_on" ] };
     (* recorder-off probe emission *)
     { module_ = "Probe"; functions = [ "emit"; "notify"; "active" ] };
+    (* native backend: the steal loop, cross-domain delivery and worker
+       dispatch run on every real-domain operation — the dummy-sentinel
+       protocol exists precisely so these stay allocation-free *)
+    { module_ = "Deque";
+      functions = [ "push"; "pop"; "steal"; "length"; "is_empty" ] };
+    { module_ = "Inbox";
+      functions =
+        [ "drain_into"; "chain_length"; "fill_scratch"; "apply_scratch";
+          "is_empty" ] };
+    { module_ = "Native_pool";
+      functions =
+        [ "loop"; "sweep"; "run_task"; "post"; "notify"; "park"; "finish";
+          "current_domain" ] };
+    { module_ = "Native_backend";
+      functions = [ "with_op"; "touch"; "compute"; "delta" ] };
   ]
 
 let functions_for manifest ~module_ =

@@ -1,0 +1,39 @@
+(* Native-backend fixture: a work-stealing deque / pool lookalike whose
+   steal loop and dispatch allocate in exactly the ways the real
+   lib/native modules must not, plus a raw Domain.spawn outside the
+   shim. suite_staticcheck points a manifest at these functions and
+   asserts the new diagnostic surface fires per construct. *)
+
+type 'a t = { top : int Atomic.t; bottom : int Atomic.t; slots : 'a array }
+
+(* alloc-construct: boxes the stolen element in an option instead of
+   using the dummy-sentinel protocol *)
+let steal_boxed t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else if Atomic.compare_and_set t.top tp (tp + 1) then
+    Some t.slots.(tp land (Array.length t.slots - 1))
+  else None
+
+(* alloc-closure: dispatch wraps every task in a fresh closure *)
+let dispatch_capturing run task k = run (fun () -> task k)
+
+(* alloc-construct: drain conses the drained element onto a list *)
+let drain_consing t acc =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp < b then t.slots.(tp land (Array.length t.slots - 1)) :: acc else acc
+
+(* allocation-free steal, dummy-sentinel style: no finding *)
+let clean_steal dummy t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then dummy
+  else begin
+    let v = t.slots.(tp land (Array.length t.slots - 1)) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then v else dummy
+  end
+
+(* raw-domain: workers must come from the pool shim, not Domain.spawn *)
+let rogue_worker body = Domain.spawn body

@@ -1,0 +1,318 @@
+(* The native backend: SPMC deque model + stress, inbox FIFO, pool
+   shipping semantics, and the simulator-as-oracle cross-check. *)
+
+open O2_native
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Deque: qcheck model test against a sequential reference.            *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference: a list front..back. push appends at the back, pop takes
+   the back, steal takes the front — the Chase–Lev contract when used
+   sequentially (where no race can make steal/pop return a false miss). *)
+module Model = struct
+  type t = int list ref
+
+  let create () : t = ref []
+  let push m v = m := !m @ [ v ]
+
+  let pop m =
+    match List.rev !m with
+    | [] -> -1
+    | v :: rest ->
+        m := List.rev rest;
+        v
+
+  let steal m =
+    match !m with
+    | [] -> -1
+    | v :: rest ->
+        m := rest;
+        v
+
+  let length m = List.length !m
+end
+
+let deque_op_gen =
+  QCheck2.Gen.(frequency [ (3, pure `Push); (2, pure `Pop); (2, `Steal |> pure) ])
+
+let prop_deque_matches_model =
+  QCheck2.Test.make ~name:"Deque model: push/pop/steal = sequential reference"
+    ~count:500
+    QCheck2.Gen.(list_size (int_range 0 200) deque_op_gen)
+    (fun ops ->
+      (* Tiny initial capacity so growth is exercised constantly. *)
+      let d = Deque.create ~capacity:2 ~dummy:(-1) () in
+      let m = Model.create () in
+      let next = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Push ->
+              incr next;
+              Deque.push d !next;
+              Model.push m !next;
+              true
+          | `Pop -> Deque.pop d = Model.pop m
+          | `Steal -> Deque.steal d = Model.steal m)
+        ops
+      && Deque.length d = Model.length m)
+
+let test_deque_grow () =
+  let d = Deque.create ~capacity:1 ~dummy:(-1) () in
+  for i = 0 to 999 do
+    Deque.push d i
+  done;
+  checki "length after 1000 pushes" 1000 (Deque.length d);
+  (* Steal a prefix FIFO, pop the rest LIFO. *)
+  for i = 0 to 99 do
+    checki "steal is FIFO" i (Deque.steal d)
+  done;
+  for i = 999 downto 100 do
+    checki "pop is LIFO" i (Deque.pop d)
+  done;
+  checkb "empty at the end" true (Deque.is_empty d);
+  checki "pop on empty returns dummy" (-1) (Deque.pop d);
+  checki "steal on empty returns dummy" (-1) (Deque.steal d)
+
+(* Multi-domain stress: one owner pushing/popping, several thieves
+   stealing concurrently; every pushed element must be taken exactly
+   once across all participants. *)
+let test_deque_stress () =
+  let n = 20_000 in
+  let thieves = 3 in
+  let d = Deque.create ~dummy:(-1) () in
+  let taken = Atomic.make 0 in
+  let thief () =
+    let mine = ref [] in
+    while Atomic.get taken < n do
+      let v = Deque.steal d in
+      if v >= 0 then begin
+        mine := v :: !mine;
+        Atomic.incr taken
+      end
+      else Domain.cpu_relax ()
+    done;
+    !mine
+  in
+  let handles = Array.init thieves (fun _ -> Domain.spawn thief) in
+  let owner_got = ref [] in
+  for i = 0 to n - 1 do
+    Deque.push d i;
+    (* Interleave owner pops to hit the last-element CAS race. *)
+    if i land 3 = 0 then begin
+      let v = Deque.pop d in
+      if v >= 0 then begin
+        owner_got := v :: !owner_got;
+        Atomic.incr taken
+      end
+    end
+  done;
+  let rec drain_rest () =
+    if Atomic.get taken < n then begin
+      let v = Deque.pop d in
+      if v >= 0 then begin
+        owner_got := v :: !owner_got;
+        Atomic.incr taken
+      end;
+      drain_rest ()
+    end
+  in
+  drain_rest ();
+  let stolen = Array.to_list handles |> List.concat_map Domain.join in
+  let all = List.sort compare (!owner_got @ stolen) in
+  checki "every element taken exactly once" n (List.length all);
+  List.iteri (fun i v -> checki "no loss, no duplication" i v) all;
+  checkb "deque drained" true (Deque.is_empty d)
+
+(* ------------------------------------------------------------------ *)
+(* Inbox: MPSC delivery, per-producer FIFO.                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_inbox_fifo () =
+  let producers = 4 and per = 2_000 in
+  let ib = Inbox.create ~dummy:(-1) () in
+  let produce p () =
+    for i = 0 to per - 1 do
+      Inbox.push ib ((p * per) + i)
+    done
+  in
+  let handles = Array.init producers (fun p -> Domain.spawn (produce p)) in
+  let got = Array.make (producers * per) (-1) in
+  let count = ref 0 in
+  let record v =
+    got.(!count) <- v;
+    incr count
+  in
+  while !count < producers * per do
+    if Inbox.drain_into ib record = 0 then Domain.cpu_relax ()
+  done;
+  Array.iter Domain.join handles;
+  checkb "inbox empty after drain" true (Inbox.is_empty ib);
+  (* Each producer's stream must arrive in its push order. *)
+  let last = Array.make producers (-1) in
+  Array.iter
+    (fun v ->
+      let p = v / per in
+      checkb "per-producer FIFO preserved" true (v > last.(p));
+      last.(p) <- v)
+    got;
+  Array.iteri
+    (fun p l -> checki "producer fully delivered" ((p * per) + per - 1) l)
+    last
+
+(* ------------------------------------------------------------------ *)
+(* Pool: shipping lands where directed; exceptions propagate; yield
+   never loses work.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_ship_lands_on_target () =
+  let t = Native_pool.create ~domains:3 in
+  Fun.protect
+    ~finally:(fun () -> Native_pool.shutdown t)
+    (fun () ->
+      let trail = Array.make 3 (-1) in
+      Native_pool.spawn t ~core:0 ~name:"tourist" (fun () ->
+          for d = 0 to 2 do
+            O2_runtime.Api.ship_to d;
+            trail.(d) <- Native_pool.current_domain t
+          done);
+      Native_pool.drain t;
+      Array.iteri
+        (fun d got -> checki "resumed on the shipped-to domain" d got)
+        trail;
+      checkb "coordinator is off-pool" true (Native_pool.current_domain t = -1))
+
+let test_pool_exception_propagates () =
+  let t = Native_pool.create ~domains:2 in
+  Fun.protect
+    ~finally:(fun () -> Native_pool.shutdown t)
+    (fun () ->
+      let fine = Atomic.make 0 in
+      for c = 0 to 9 do
+        Native_pool.spawn t ~core:(c mod 2) ~name:"ok" (fun () ->
+            Atomic.incr fine)
+      done;
+      Native_pool.spawn t ~core:0 ~name:"bad" (fun () -> failwith "boom");
+      (match Native_pool.drain t with
+      | () -> Alcotest.fail "drain should re-raise the client failure"
+      | exception Failure m -> check Alcotest.string "client error" "boom" m);
+      checki "other clients still completed" 10 (Atomic.get fine);
+      (* The pool stays usable for the next batch. *)
+      Native_pool.spawn t ~core:1 ~name:"again" (fun () -> Atomic.incr fine);
+      Native_pool.drain t;
+      checki "pool survives an error batch" 11 (Atomic.get fine))
+
+let test_pool_yield_and_scale () =
+  let t = Native_pool.create ~domains:1 in
+  Fun.protect
+    ~finally:(fun () -> Native_pool.shutdown t)
+    (fun () ->
+      let hits = Atomic.make 0 in
+      for _c = 0 to 4 do
+        Native_pool.spawn t ~core:0 ~name:"yielder" (fun () ->
+            for _ = 1 to 3 do
+              Atomic.incr hits;
+              O2_runtime.Api.yield ()
+            done)
+      done;
+      Native_pool.drain t;
+      checki "yielding clients all finish" 15 (Atomic.get hits);
+      checkb "telemetry counted the resumes" true
+        (Native_pool.tasks_executed t >= 15))
+
+(* ------------------------------------------------------------------ *)
+(* Backend counters and monitor invariants.                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_backend_counters () =
+  let b = Native_backend.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Native_backend.shutdown b)
+    (fun () ->
+      let o0 = Native_backend.register b ~size:64 ~name:"a" in
+      let o1 = Native_backend.register b ~size:64 ~name:"b" in
+      checki "round-robin initial homes" 0 (Native_backend.home b o0);
+      checki "round-robin initial homes" 1 (Native_backend.home b o1);
+      (match Native_backend.with_op b o0 (fun () -> ()) with
+      | () -> Alcotest.fail "with_op off-pool must be rejected"
+      | exception Invalid_argument _ -> ());
+      for c = 0 to 3 do
+        Native_backend.spawn b ~core:(c mod 2) ~name:"client" (fun () ->
+            for i = 0 to 24 do
+              let o = if i land 1 = 0 then o0 else o1 in
+              Native_backend.with_op b o (fun () ->
+                  Native_backend.compute b 10)
+            done)
+      done;
+      Native_backend.run b;
+      checki "ops_completed" 100 (Native_backend.ops_completed b);
+      checki "object_ops o0" 52 (Native_backend.object_ops b o0);
+      checki "object_ops o1" 48 (Native_backend.object_ops b o1);
+      let out, in_ = Native_backend.ships b in
+      checki "ship balance at quiescence" out in_;
+      Native_backend.rebalance b;
+      (* Another batch after a monitor step must keep every invariant. *)
+      Native_backend.spawn b ~core:0 ~name:"client2" (fun () ->
+          for _ = 1 to 10 do
+            Native_backend.with_op b o0 (fun () -> ())
+          done);
+      Native_backend.run b;
+      checki "ops accumulate across batches" 110
+        (Native_backend.ops_completed b);
+      checki "object_ops accumulate" 62 (Native_backend.object_ops b o0);
+      let out, in_ = Native_backend.ships b in
+      checki "ship balance after rebalance" out in_)
+
+(* ------------------------------------------------------------------ *)
+(* The oracle: same program, both backends, identical results.         *)
+(* ------------------------------------------------------------------ *)
+
+let oracle_ok r =
+  if not r.Oracle.ok then
+    Alcotest.fail (Format.asprintf "%a" Oracle.pp_report r)
+
+let test_oracle_kv domains () =
+  let r = Oracle.kv_cross_check ~domains () in
+  oracle_ok r;
+  let out, in_ = r.Oracle.native_ships in
+  checki "native ships balance" out in_;
+  if domains = 1 then checki "one domain never ships" 0 out
+
+let test_oracle_dir () =
+  let r = Oracle.dir_cross_check ~domains:2 () in
+  oracle_ok r
+
+let test_oracle_rejects_overflowable_buckets () =
+  match
+    Oracle.kv_cross_check ~domains:1 ~buckets:4 ~slots_per_bucket:2
+      ~keyspace:128 ()
+  with
+  | _ -> Alcotest.fail "sizing that can overflow a bucket must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "deque grow + FIFO/LIFO ends" `Quick test_deque_grow;
+    QCheck_alcotest.to_alcotest prop_deque_matches_model;
+    Alcotest.test_case "deque multi-domain stress" `Slow test_deque_stress;
+    Alcotest.test_case "inbox MPSC per-producer FIFO" `Quick test_inbox_fifo;
+    Alcotest.test_case "pool: shipping lands on target" `Quick
+      test_pool_ship_lands_on_target;
+    Alcotest.test_case "pool: client exception propagates" `Quick
+      test_pool_exception_propagates;
+    Alcotest.test_case "pool: yield keeps all work" `Quick
+      test_pool_yield_and_scale;
+    Alcotest.test_case "backend: counters and ship balance" `Quick
+      test_backend_counters;
+    Alcotest.test_case "oracle: kv at 1 domain" `Slow (test_oracle_kv 1);
+    Alcotest.test_case "oracle: kv at 2 domains" `Slow (test_oracle_kv 2);
+    Alcotest.test_case "oracle: kv at 4 domains" `Slow (test_oracle_kv 4);
+    Alcotest.test_case "oracle: dir at 2 domains" `Slow test_oracle_dir;
+    Alcotest.test_case "oracle: rejects overflowable buckets" `Quick
+      test_oracle_rejects_overflowable_buckets;
+  ]

@@ -108,6 +108,37 @@ let test_raw_fixture () =
     (codes
        (SC.Raw_use.check_module ~allowlist:[ m.SC.Cmt_load.source ] m))
 
+(* The lib/native diagnostic surface: an allocating steal loop and a
+   closure-per-task dispatch must fire the alloc pass, a raw
+   Domain.spawn outside the shims must fire the raw pass, and the
+   dummy-sentinel steal must come back clean. *)
+let test_native_fixture () =
+  let m = load_fixture "Fx_native" in
+  let manifest =
+    [
+      {
+        SC.Manifest.module_ = "Fx_native";
+        functions =
+          [ "steal_boxed"; "dispatch_capturing"; "drain_consing"; "clean_steal" ];
+      };
+    ]
+  in
+  let fs = SC.Alloc_check.check_module ~manifest m in
+  Alcotest.(check (list string))
+    "boxed steal, consing drain and capturing dispatch flagged"
+    [ "alloc-closure"; "alloc-construct"; "alloc-construct" ]
+    (codes fs);
+  Alcotest.(check (list string))
+    "option boxing blamed on the steal loop; sentinel steal clean"
+    [ "drain_consing"; "steal_boxed" ]
+    (funcs_with ~code:"alloc-construct" fs);
+  Alcotest.(check (list string))
+    "closure blamed on dispatch" [ "dispatch_capturing" ]
+    (funcs_with ~code:"alloc-closure" fs);
+  Alcotest.(check (list string))
+    "raw Domain.spawn flagged outside the shims" [ "raw-domain" ]
+    (codes (SC.Raw_use.check_module m))
+
 (* The repo's own tree must be clean: every hot path either allocation-
    free or annotated, every listener effect-free, every lock balanced. *)
 let test_clean_tree () =
@@ -141,5 +172,6 @@ let suite =
     Alcotest.test_case "effectful listener fixture" `Quick test_effect_fixture;
     Alcotest.test_case "lock discipline fixture" `Quick test_lock_fixture;
     Alcotest.test_case "raw primitive fixture" `Quick test_raw_fixture;
+    Alcotest.test_case "native backend fixture" `Quick test_native_fixture;
     Alcotest.test_case "repo tree is clean" `Quick test_clean_tree;
   ]

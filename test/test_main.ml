@@ -24,6 +24,7 @@ let () =
       ("stats", Suite_stats.suite);
       ("obs", Suite_obs.suite);
       ("experiments", Suite_experiments.suite);
+      ("native", Suite_native.suite);
       ("analysis", Suite_analysis.suite);
       ("staticcheck", Suite_staticcheck.suite);
     ]
