@@ -420,37 +420,46 @@ let test_staticcheck =
          | Ok r -> assert (r.O2_staticcheck.Staticcheck.findings = [])
          | Error _ -> ()))
 
+(* One quota does not fit all rows: with the old single
+   limit=2000/quota=1s config the sub-µs rows collected so few distinct
+   iteration counts that the OLS fit was garbage (probe/emit reported
+   r2=-191) and the multi-ms rows got a handful of samples (cache_packing
+   n=16384 at r2=0.401). Each row is therefore classed by its expected
+   scale: [`Fast] (sub-µs kernels — many samples, long quota, so the fit
+   sees a wide spread of iteration counts), [`Mid] (µs-scale, the old
+   config was fine), [`Slow] (multi-ms cells — a longer quota buys enough
+   samples for a stable slope). *)
 let bechamel_tests =
   [
-    test_packing 256;
-    test_packing 1024;
-    test_packing 4096;
-    test_packing 16384;
-    test_lru;
-    test_read_hit;
-    test_read_stream;
-    test_machine_step_serial;
-    test_machine_step_sharded1;
-    test_machine_step_sharded4;
-    test_lookup;
-    test_event_queue;
-    test_deque_push_pop;
-    test_deque_steal;
-    test_kv_cell_native;
-    test_kv_cell_sim;
-    test_rebalancer_step 1024;
-    test_rebalancer_step 16384;
-    test_iter_assigned;
-    test_domain_pool;
-    test_probe_inactive;
-    test_probe_recorded;
-    test_read_hit_observed;
-    test_read_stream_observed;
-    test_decision_emit;
-    test_staticcheck;
-    test_fig4a_cell_with;
-    test_fig4a_cell_without;
-    test_fig4b_cell;
+    (`Mid, test_packing 256);
+    (`Mid, test_packing 1024);
+    (`Mid, test_packing 4096);
+    (`Slow, test_packing 16384);
+    (`Fast, test_lru);
+    (`Fast, test_read_hit);
+    (`Mid, test_read_stream);
+    (`Slow, test_machine_step_serial);
+    (`Slow, test_machine_step_sharded1);
+    (`Slow, test_machine_step_sharded4);
+    (`Mid, test_lookup);
+    (`Fast, test_event_queue);
+    (`Fast, test_deque_push_pop);
+    (`Fast, test_deque_steal);
+    (`Slow, test_kv_cell_native);
+    (`Slow, test_kv_cell_sim);
+    (`Fast, test_rebalancer_step 1024);
+    (`Fast, test_rebalancer_step 16384);
+    (`Fast, test_iter_assigned);
+    (`Mid, test_domain_pool);
+    (`Fast, test_probe_inactive);
+    (`Fast, test_probe_recorded);
+    (`Fast, test_read_hit_observed);
+    (`Mid, test_read_stream_observed);
+    (`Fast, test_decision_emit);
+    (`Slow, test_staticcheck);
+    (`Slow, test_fig4a_cell_with);
+    (`Slow, test_fig4a_cell_without);
+    (`Slow, test_fig4b_cell);
   ]
 
 let run_bechamel () =
@@ -458,10 +467,18 @@ let run_bechamel () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None () in
+  let cfg_fast = Benchmark.cfg ~limit:10_000 ~quota:(Time.second 3.0) ~kde:None () in
+  let cfg_mid = Benchmark.cfg ~limit:3000 ~quota:(Time.second 2.0) ~kde:None () in
+  let cfg_slow = Benchmark.cfg ~limit:3000 ~quota:(Time.second 5.0) ~kde:None () in
   print_endline "bechamel microbenchmarks (monotonic clock, ns/run):";
   List.iter
-    (fun test ->
+    (fun (scale, test) ->
+      let cfg =
+        match scale with
+        | `Fast -> cfg_fast
+        | `Mid -> cfg_mid
+        | `Slow -> cfg_slow
+      in
       List.iter
         (fun elt ->
           let raw = Benchmark.run cfg instances elt in

@@ -131,7 +131,9 @@ let all =
       title = "A future 64-core multicore";
       paper_ref = "Section 6.1";
       default_set = false;
-      run = (fun ~quick ~jobs ~obs:_ ~shards:_ ppf -> Future_multicore.run ~quick ~jobs ppf);
+      run =
+        (fun ~quick ~jobs ~obs:_ ~shards ppf ->
+          Future_multicore.run ~shards ~quick ~jobs ppf);
     };
   ]
 

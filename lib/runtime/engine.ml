@@ -89,7 +89,11 @@ let create_sharded machine ~shards =
   let cfg = Machine.cfg machine in
   let nchips = cfg.Config.chips in
   let delta = Config.sync_window cfg in
-  let domains = max 1 (min shards nchips) in
+  (* Oversubscribed shard counts are pure overhead — domains spinning at
+     window barriers with no parallelism underneath (measurably slower
+     than shards=1 on a 1-core host) — so clamp to the cores actually
+     available, with the same logged warning --jobs gets. *)
+  let domains = max 1 (min (Domain_pool.clamped ~what:"shards" shards) nchips) in
   let facade = create machine in
   let chip_of = Config.chip_of_core cfg in
   let mk_shard chip =

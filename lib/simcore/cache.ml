@@ -1,18 +1,14 @@
 type level = L1 | L2 | L3
 
-type stats = {
-  mutable hits : int;
-  mutable misses : int;
-  mutable fills : int;
-  mutable evictions : int;
-  mutable invalidations : int;
-}
-
+(* A thin shell over the flat Lru arrays: identity (level/owner, for
+   observers and reports) plus the watcher hook. Hit/miss accounting
+   lives in the per-core Counters the experiments actually read — this
+   record deliberately carries no per-cache stat fields, so a probe is
+   exactly an Lru touch. *)
 type t = {
   level : level;
   owner : int;
   lru : Lru.t;
-  stats : stats;
   mutable watcher : watcher option;
 }
 
@@ -24,13 +20,7 @@ and watcher = {
 let create level ~owner ~cap_bytes ~line_bytes =
   if cap_bytes < line_bytes then
     invalid_arg "Cache.create: capacity smaller than one line";
-  {
-    level;
-    owner;
-    lru = Lru.create ~cap:(cap_bytes / line_bytes);
-    stats = { hits = 0; misses = 0; fills = 0; evictions = 0; invalidations = 0 };
-    watcher = None;
-  }
+  { level; owner; lru = Lru.create ~cap:(cap_bytes / line_bytes); watcher = None }
 
 let set_watcher t w = t.watcher <- w
 let watched t = t.watcher <> None
@@ -39,40 +29,23 @@ let level t = t.level
 let owner t = t.owner
 let capacity_lines t = Lru.capacity t.lru
 let resident_lines t = Lru.length t.lru
-let stats t = t.stats
 
-let probe t line =
-  if Lru.touch t.lru line then (
-    t.stats.hits <- t.stats.hits + 1;
-    true)
-  else (
-    t.stats.misses <- t.stats.misses + 1;
-    false)
-
+let probe t line = Lru.touch t.lru line
 let contains t line = Lru.mem t.lru line
 
 let fill_evict t line =
-  t.stats.fills <- t.stats.fills + 1;
   let victim = Lru.add_evict t.lru line in
-  if victim >= 0 then t.stats.evictions <- t.stats.evictions + 1;
   (match t.watcher with
   | None -> ()
   | Some w -> w.on_fill t ~line ~victim);
   victim
-
-let fill t line =
-  let victim = fill_evict t line in
-  if victim < 0 then None else Some victim
 
 let notify_remove t line =
   match t.watcher with None -> () | Some w -> w.on_remove t ~line
 
 let invalidate t line =
   let present = Lru.remove t.lru line in
-  if present then begin
-    t.stats.invalidations <- t.stats.invalidations + 1;
-    notify_remove t line
-  end;
+  if present then notify_remove t line;
   present
 
 let drop t line =

@@ -1,16 +1,10 @@
-(** One cache array (an L1, an L2 or an L3): an LRU set of lines plus hit /
-    miss / eviction statistics. Placement and coherence live in {!Machine};
-    this module only answers "is line [l] here?" and maintains recency. *)
+(** One cache array (an L1, an L2 or an L3): an LRU set of lines tagged
+    with its identity. Placement and coherence live in {!Machine}; this
+    module only answers "is line [l] here?" and maintains recency.
+    Hit/miss/eviction accounting lives in the per-core {!Counters} that
+    {!Machine} maintains — a probe is exactly an LRU touch. *)
 
 type level = L1 | L2 | L3
-
-type stats = {
-  mutable hits : int;
-  mutable misses : int;
-  mutable fills : int;
-  mutable evictions : int;
-  mutable invalidations : int;
-}
 
 type t
 
@@ -39,30 +33,23 @@ val level : t -> level
 val owner : t -> int
 val capacity_lines : t -> int
 val resident_lines : t -> int
-val stats : t -> stats
 
 val probe : t -> int -> bool
-(** [probe t line] is a lookup for the access path: touches the line and
-    records a hit or a miss. *)
+(** [probe t line] is a lookup for the access path: touches the line's
+    recency and reports whether it was present. *)
 
 val contains : t -> int -> bool
-(** Membership without touching recency or stats (for assertions and
-    snapshots). *)
-
-val fill : t -> int -> int option
-(** Insert a line after a miss; returns the evicted victim line, if any.
-    Allocating wrapper over {!fill_evict}. *)
+(** Membership without touching recency (for assertions and snapshots). *)
 
 val fill_evict : t -> int -> int
-(** [fill] without the option: the evicted line, or [-1] when nothing was
-    evicted. Allocation-free (the access path uses this). *)
+(** Insert a line after a miss: the evicted victim line, or [-1] when
+    nothing was evicted. Allocation-free (the access path uses this). *)
 
 val invalidate : t -> int -> bool
 (** Coherence removal; returns whether the line was present. *)
 
 val drop : t -> int -> bool
-(** Silent removal (inclusion maintenance), not counted as an
-    invalidation. *)
+(** Silent removal (inclusion maintenance). *)
 
 val iter_lines : (int -> unit) -> t -> unit
 val clear : t -> unit

@@ -1,48 +1,78 @@
-(* Array-based LRU: slots hold keys doubly linked through [prev]/[next]
-   index arrays (slot [cap] is the list sentinel), and an open-addressing
-   linear-probe table maps key -> slot. No allocation on any operation, so
-   the cache simulator's hot path stays off the GC. Deletion uses
-   backward-shift (no tombstones), which keeps probes short under the
-   constant churn of fills and evictions. *)
+(* Array-based LRU, struct-of-arrays with packed fields. Slots hold keys
+   doubly linked through a single packed [links] array (slot [cap] is the
+   list sentinel), and an open-addressing linear-probe table maps
+   key -> slot with the key packed into the table entry itself:
+
+     table.(i) = (key lsl 25) lor (slot + 1)     0 = empty
+     links.(s) = (prev lsl 24) lor next
+
+   so a probe is one array load and one compare (no second load into a
+   keys array), and an unlink reads both neighbours in one load. Keys
+   must be non-negative (cache line numbers) and capacity below 2^24.
+   No allocation on any operation, so the cache simulator's hot path
+   stays off the GC. Deletion uses backward-shift (no tombstones), which
+   keeps probes short under the constant churn of fills and evictions. *)
 
 type t = {
   cap : int;
   mutable size : int;
-  keys : int array;  (* slot -> key *)
-  next : int array;  (* slot links; slot = cap is the sentinel *)
-  prev : int array;
+  mutable keys : int array;  (* slot -> key (for eviction and iteration) *)
+  mutable links : int array;
+      (* slot -> (prev lsl 24) lor next; slot cap = sentinel *)
   mutable free : int;  (* head of the free-slot list, threaded via next *)
-  table : int array;  (* probe position -> slot + 1; 0 = empty *)
+  mutable table : int array;  (* probe position -> (key lsl 25) lor (slot + 1) *)
   mask : int;
 }
 
+let slot_shift = 25
+let slot_mask = (1 lsl slot_shift) - 1
+let link_bits = 24
+let link_mask = (1 lsl link_bits) - 1
+
+let next_of l = l land link_mask
+let prev_of l = l lsr link_bits
+let pack_link ~prev ~next = (prev lsl link_bits) lor next
+
+let set_next t s n = t.links.(s) <- (t.links.(s) land lnot link_mask) lor n
+
+let set_prev t s p =
+  t.links.(s) <- (t.links.(s) land link_mask) lor (p lsl link_bits)
+
 let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
 
+(* Creation defers the arrays until the first insert: a Machine builds
+   L1+L2+L3 LRUs for every core and chip up front (megabytes of int
+   arrays on amd16), but small cells and short tests touch a handful of
+   caches — a victim L3 that never sees an eviction never pays for its
+   table. The empty state is observable only as [size = 0], which every
+   read path already treats as a miss. *)
 let create ~cap =
   if cap <= 0 then invalid_arg "Lru.create: capacity must be positive";
-  let tbl_size = pow2 (4 * cap) 16 in
-  let next = Array.make (cap + 1) (-1) in
-  let prev = Array.make (cap + 1) (-1) in
-  (* free list through next; safe at [cap = 1] because the free-list
-     terminator lives at index [cap - 1 = 0] and the sentinel self-links
-     live at index [cap = 1] — distinct cells, so the write order cannot
-     clobber anything (pinned by the cap=1 tests in suite_lru). *)
-  for i = 0 to cap - 1 do
-    next.(i) <- i + 1
-  done;
-  next.(cap - 1) <- -1;
-  next.(cap) <- cap;
-  prev.(cap) <- cap;
-  {
-    cap;
-    size = 0;
-    keys = Array.make cap 0;
-    next;
-    prev;
-    free = 0;
-    table = Array.make tbl_size 0;
-    mask = tbl_size - 1;
-  }
+  if cap >= 1 lsl link_bits then
+    invalid_arg "Lru.create: capacity exceeds the packed 24-bit slot index";
+  let tbl_size = pow2 (2 * cap) 16 in
+  { cap; size = 0; keys = [||]; links = [||]; free = 0; table = [||];
+    mask = tbl_size - 1 }
+
+(* One-time slot allocation on the first insert. Free list through the
+   next field; safe at [cap = 1] because the free-list terminator lives
+   at index [cap - 1 = 0] and the sentinel self-links live at index
+   [cap = 1] — distinct cells, so the write order cannot clobber
+   anything (pinned by the cap=1 tests in suite_lru). *)
+let ensure_slots t =
+  if Array.length t.links = 0 then begin
+    let links = Array.make (t.cap + 1) 0 in
+    for i = 0 to t.cap - 1 do
+      links.(i) <- pack_link ~prev:0 ~next:(i + 1)
+    done;
+    links.(t.cap - 1) <- pack_link ~prev:0 ~next:link_mask;
+    links.(t.cap) <- pack_link ~prev:t.cap ~next:t.cap;
+    t.links <- links;
+    t.keys <- Array.make t.cap 0;
+    t.table <- Array.make (t.mask + 1) 0;
+    t.free <- 0
+  end
+  [@@alloc_ok "one-time lazy allocation of the slot arrays"]
 
 let capacity t = t.cap
 let length t = t.size
@@ -53,35 +83,43 @@ let hash t key = (key * 0x2545F491) land t.mask
    than a [ref] loop: no flambda, so a local ref would allocate on every
    cache probe. *)
 let rec probe_from t key i =
-  let s = t.table.(i) in
-  if s <> 0 && t.keys.(s - 1) <> key then probe_from t key ((i + 1) land t.mask)
+  let e = t.table.(i) in
+  if e <> 0 && e lsr slot_shift <> key then probe_from t key ((i + 1) land t.mask)
   else i
 
 let probe t key = probe_from t key (hash t key)
 
 let find_slot t key =
-  let i = probe t key in
-  t.table.(i) - 1  (* -1 when empty *)
+  if t.size = 0 then -1
+  else (t.table.(probe t key) land slot_mask) - 1  (* -1 when empty *)
 
 let mem t key = find_slot t key >= 0
 
 let unlink t s =
-  t.next.(t.prev.(s)) <- t.next.(s);
-  t.prev.(t.next.(s)) <- t.prev.(s)
+  let l = t.links.(s) in
+  let p = prev_of l and n = next_of l in
+  set_next t p n;
+  set_prev t n p
 
 let push_front t s =
   let sent = t.cap in
-  t.next.(s) <- t.next.(sent);
-  t.prev.(s) <- sent;
-  t.prev.(t.next.(sent)) <- s;
-  t.next.(sent) <- s
+  let head = next_of t.links.(sent) in
+  t.links.(s) <- pack_link ~prev:sent ~next:head;
+  set_prev t head s;
+  set_next t sent s
 
 let touch t key =
-  let s = find_slot t key in
-  if s < 0 then false
+  if t.size = 0 then false
+  else
+  let e = t.table.(probe t key) in
+  if e = 0 then false
   else begin
-    unlink t s;
-    push_front t s;
+    let s = (e land slot_mask) - 1 in
+    (* MRU fast path: repeated hits on the hottest line skip the relink. *)
+    if prev_of t.links.(s) <> t.cap then begin
+      unlink t s;
+      push_front t s
+    end;
     true
   end
 
@@ -89,10 +127,11 @@ let touch t key =
    entry at [j] into the hole unless its home position lies cyclically
    within (i, j]. *)
 let rec backward_shift t i j =
-  if t.table.(j) <> 0 then begin
-    let h = hash t t.keys.(t.table.(j) - 1) in
+  let e = t.table.(j) in
+  if e <> 0 then begin
+    let h = hash t (e lsr slot_shift) in
     if (j - h) land t.mask >= (j - i) land t.mask then begin
-      t.table.(i) <- t.table.(j);
+      t.table.(i) <- e;
       t.table.(j) <- 0;
       backward_shift t j ((j + 1) land t.mask)
     end
@@ -113,13 +152,14 @@ let remove t key =
   else begin
     unlink t s;
     table_remove t key;
-    t.next.(s) <- t.free;
+    set_next t s t.free;
     t.free <- s;
     t.size <- t.size - 1;
     true
   end
 
-let lru_key t = if t.size = 0 then None else Some t.keys.(t.prev.(t.cap))
+let lru_key t =
+  if t.size = 0 then None else Some t.keys.(prev_of t.links.(t.cap))
 
 (* Allocation-free insert: the evicted key comes back as a bare int, with
    [-1] for "nothing evicted". Fine for cache lines, whose numbers are
@@ -128,26 +168,29 @@ let install t key s =
   t.keys.(s) <- key;
   push_front t s;
   let i = probe t key in
-  t.table.(i) <- s + 1;
+  t.table.(i) <- (key lsl slot_shift) lor (s + 1);
   t.size <- t.size + 1
 
 let add_evict t key =
   if touch t key then -1
-  else if t.size >= t.cap then begin
-    (* evict the tail slot and reuse it *)
-    let tail = t.prev.(t.cap) in
-    let vkey = t.keys.(tail) in
-    unlink t tail;
-    table_remove t vkey;
-    t.size <- t.size - 1;
-    install t key tail;
-    vkey
-  end
   else begin
-    let s = t.free in
-    t.free <- t.next.(s);
-    install t key s;
-    -1
+    ensure_slots t;
+    if t.size >= t.cap then begin
+      (* evict the tail slot and reuse it *)
+      let tail = prev_of t.links.(t.cap) in
+      let vkey = t.keys.(tail) in
+      unlink t tail;
+      table_remove t vkey;
+      t.size <- t.size - 1;
+      install t key tail;
+      vkey
+    end
+    else begin
+      let s = t.free in
+      t.free <- next_of t.links.(s);
+      install t key s;
+      -1
+    end
   end
 
 let add t key =
@@ -155,11 +198,13 @@ let add t key =
   if victim < 0 then None else Some victim
 
 let iter f t =
-  let s = ref t.next.(t.cap) in
-  while !s <> t.cap do
-    f t.keys.(!s);
-    s := t.next.(!s)
-  done
+  if t.size > 0 then begin
+    let s = ref (next_of t.links.(t.cap)) in
+    while !s <> t.cap do
+      f t.keys.(!s);
+      s := next_of t.links.(!s)
+    done
+  end
 
 let fold f acc t =
   let acc = ref acc in
@@ -169,17 +214,21 @@ let fold f acc t =
 let to_list t = List.rev (fold (fun acc k -> k :: acc) [] t)
 
 let clear t =
-  Array.fill t.table 0 (Array.length t.table) 0;
-  t.size <- 0;
-  for i = 0 to t.cap - 1 do
-    t.next.(i) <- i + 1
-  done;
-  t.next.(t.cap - 1) <- -1;
-  t.free <- 0;
-  t.next.(t.cap) <- t.cap;
-  t.prev.(t.cap) <- t.cap
+  if Array.length t.links > 0 then begin
+    Array.fill t.table 0 (Array.length t.table) 0;
+    t.size <- 0;
+    for i = 0 to t.cap - 1 do
+      t.links.(i) <- pack_link ~prev:0 ~next:(i + 1)
+    done;
+    t.links.(t.cap - 1) <- pack_link ~prev:0 ~next:link_mask;
+    t.free <- 0;
+    t.links.(t.cap) <- pack_link ~prev:t.cap ~next:t.cap
+  end
 
 let check_invariants t =
+  if Array.length t.links = 0 then
+    if t.size <> 0 then Error "unallocated slots but size <> 0" else Ok ()
+  else
   let l = to_list t in
   let n = List.length l in
   if n <> t.size then Error "list length <> size"
@@ -190,26 +239,28 @@ let check_invariants t =
   else begin
     (* walk backwards too, to catch broken prev pointers *)
     let back = ref [] in
-    let s = ref t.prev.(t.cap) in
+    let s = ref (prev_of t.links.(t.cap)) in
     while !s <> t.cap do
       back := t.keys.(!s) :: !back;
-      s := t.prev.(!s)
+      s := prev_of t.links.(!s)
     done;
     if !back <> l then Error "prev-chain disagrees with next-chain"
     else begin
-      (* every table slot must point at a live key *)
+      (* every table entry must point at a live slot carrying its key *)
       let live = Hashtbl.create 64 in
       List.iter (fun k -> Hashtbl.replace live k ()) l;
       let table_count = ref 0 in
       let bad = ref false in
       Array.iter
-        (fun v ->
-          if v <> 0 then begin
+        (fun e ->
+          if e <> 0 then begin
             incr table_count;
-            if not (Hashtbl.mem live t.keys.(v - 1)) then bad := true
+            let s = (e land slot_mask) - 1 in
+            let key = e lsr slot_shift in
+            if t.keys.(s) <> key || not (Hashtbl.mem live key) then bad := true
           end)
         t.table;
-      if !bad then Error "table references dead slot"
+      if !bad then Error "table entry disagrees with slot key"
       else if !table_count <> n then Error "table population <> size"
       else Ok ()
     end

@@ -33,7 +33,6 @@ type shard_info = {
   shard_chip : int;
   first_core : int;
   last_core : int;
-  cores_mask : int;  (* bit per core on this chip, for invalidate splits *)
   plog : Intvec.t;
   ilog : Intvec.t;
 }
@@ -45,17 +44,26 @@ type t = {
   l2 : Cache.t array;  (* per core *)
   l3 : Cache.t array;  (* per chip *)
   presence : Presence.t;
+  pwords : int;  (* Presence.words, hoisted for the invalidation loops *)
   dram : Dram.t;
   mem : Memsys.t;
   ctr : Counters.t array;
   (* Per home bank: how many lines the access in flight streams from DRAM.
      A scratch array hoisted out of [read]/[write] (which never nest) so
-     the access path does not allocate. *)
+     the access path does not allocate. All-zero between accesses:
+     [dram_batch_cost] clears each bank as it reads it, and [dram_touched]
+     skips the batch walk entirely for accesses that never reached DRAM —
+     the common case pays one flag test instead of an [Array.fill]. *)
   dram_scratch : int array;
-  (* Prebuilt closures handed to [Presence.nearest_*] on every miss; built
-     once here so the miss path does not repeat the partial applications. *)
-  hops_fn : int -> int -> int;
-  chip_of_fn : int -> int;
+  mutable dram_touched : bool;
+  (* Flat topology tables consulted on every miss: core -> chip, and the
+     row-major chips x chips hop matrix. Plain int arrays instead of the
+     prebuilt closures this module used to carry — an indexed load instead
+     of a call. *)
+  chip_tab : int array;
+  hop_mat : int array;
+  nchips : int;
+  line_shift : int;  (* log2 line_bytes; Config.validate enforces pow2 *)
   (* Cache-observatory subscribers. Empty list = not observed: every
      notification site is a single [match] on it, so the unobserved access
      path allocates nothing and pays one branch (pinned by suite_hotpath). *)
@@ -68,13 +76,21 @@ type t = {
   shard : shard_info option;
 }
 
+let rec log2 v k = if v <= 1 then k else log2 (v lsr 1) (k + 1)
+
 let create cfg =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Machine.create: " ^ msg));
+  if cfg.Config.chips > 62 then
+    invalid_arg "Machine.create: more than 62 chips overflows the per-line \
+                 int chip mask";
   let topo = Topology.create cfg in
   let ncores = Config.cores cfg in
+  let nchips = cfg.Config.chips in
   let line = cfg.Config.line_bytes in
+  let presence = Presence.create ~cores:ncores in
+  let hops = Topology.hops topo in
   {
     cfg;
     topo;
@@ -87,16 +103,21 @@ let create cfg =
           Cache.create L2 ~owner:c ~cap_bytes:cfg.Config.l2_bytes
             ~line_bytes:line);
     l3 =
-      Array.init cfg.Config.chips (fun p ->
+      Array.init nchips (fun p ->
           Cache.create L3 ~owner:p ~cap_bytes:cfg.Config.l3_bytes
             ~line_bytes:line);
-    presence = Presence.create ();
+    presence;
+    pwords = Presence.words presence;
     dram = Dram.create cfg topo;
     mem = Memsys.create ~line_bytes:line ();
     ctr = Counters.create_array ncores;
-    dram_scratch = Array.make cfg.Config.chips 0;
-    hops_fn = Topology.hops topo;
-    chip_of_fn = Config.chip_of_core cfg;
+    dram_scratch = Array.make nchips 0;
+    dram_touched = false;
+    chip_tab = Array.init ncores (Config.chip_of_core cfg);
+    hop_mat =
+      Array.init (nchips * nchips) (fun i -> hops (i / nchips) (i mod nchips));
+    nchips;
+    line_shift = log2 line 0;
     observers = [];
     res_scratch = [||];
     shard = None;
@@ -104,26 +125,28 @@ let create cfg =
 
 let shard_view root ~chip =
   if root.shard <> None then invalid_arg "Machine.shard_view: view of a view";
-  (* The per-core presence masks and [cores_mask] below pack one bit per
-     global core into an OCaml int; past 62 cores the top bits fall into
-     the sign bit and beyond, so the sharded invalidation split would
-     silently corrupt masks (future64 and wider). Fail loudly instead —
-     wide configs run on the serial engine. *)
-  if Config.cores root.cfg > 62 then
+  (* The packed presence/invalidation log entries carry a 12-bit core or
+     chip index; anything wider than 4096 cores has no business in this
+     simulator anyway. (The per-line core masks themselves are multi-word,
+     so 64–256-core configs shard fine — future64 runs here.) *)
+  if Config.cores root.cfg > 4096 then
     invalid_arg
       (Printf.sprintf
-         "Machine.shard_view: %d cores exceed the 62 the per-line int \
-          presence masks support; run configs this wide on the serial engine"
+         "Machine.shard_view: %d cores exceed the 4096 the packed shard \
+          logs support"
          (Config.cores root.cfg));
   let per = root.cfg.Config.cores_per_chip in
   let first_core = chip * per in
   let dram = Dram.create root.cfg root.topo in
   Dram.enable_delta_tracking dram;
+  let presence = Presence.create ~cores:(Config.cores root.cfg) in
   {
     root with
-    presence = Presence.create ();
+    presence;
+    pwords = Presence.words presence;
     dram;
     dram_scratch = Array.make root.cfg.Config.chips 0;
+    dram_touched = false;
     observers = [];
     res_scratch = [||];
     shard =
@@ -132,7 +155,6 @@ let shard_view root ~chip =
           shard_chip = chip;
           first_core;
           last_core = first_core + per - 1;
-          cores_mask = ((1 lsl per) - 1) lsl first_core;
           plog = Intvec.create ~cap:256 ();
           ilog = Intvec.create ~cap:64 ();
         };
@@ -156,22 +178,42 @@ let all_caches t =
 
 let presence t = t.presence
 
-let chip_of_core t core = Config.chip_of_core t.cfg core
-let line_of t addr = addr / t.cfg.Config.line_bytes
+let line_of t addr = addr lsr t.line_shift
 
 (* Fan cache fill/remove notifications out to the machine-level observer
    list. Installed on every cache at the first [observe]; before that the
-   caches carry no watcher and their notification sites stay free. *)
-let notify_fill t cache ~line ~victim =
-  List.iter (fun o -> o.on_fill ~cache ~line ~victim) t.observers
+   caches carry no watcher and their notification sites stay free. The
+   fan-outs are recursive list walks rather than [List.iter f] — the
+   iterated closure would be a minor allocation per notification, and the
+   observed access path is pinned zero-alloc too (the observers' own
+   callbacks allocate or not on their own account). *)
+let rec fill_list obs cache ~line ~victim =
+  match obs with
+  | [] -> ()
+  | o :: rest ->
+      o.on_fill ~cache ~line ~victim;
+      fill_list rest cache ~line ~victim
 
-let notify_remove t cache ~line =
-  List.iter (fun o -> o.on_remove ~cache ~line) t.observers
+let notify_fill t cache ~line ~victim = fill_list t.observers cache ~line ~victim
+
+let rec remove_list obs cache ~line =
+  match obs with
+  | [] -> ()
+  | o :: rest ->
+      o.on_remove ~cache ~line;
+      remove_list rest cache ~line
+
+let notify_remove t cache ~line = remove_list t.observers cache ~line
+
+let rec access_list obs ~now ~core ~line ~source =
+  match obs with
+  | [] -> ()
+  | o :: rest ->
+      o.on_access ~now ~core ~line ~source;
+      access_list rest ~now ~core ~line ~source
 
 let notify_access t ~now ~core ~line ~source =
-  match t.observers with
-  | [] -> ()
-  | obs -> List.iter (fun o -> o.on_access ~now ~core ~line ~source) obs
+  access_list t.observers ~now ~core ~line ~source
 
 let observe t observer =
   if t.observers = [] then begin
@@ -192,14 +234,15 @@ let observed t = t.observers <> []
 
 (* Presence updates funnel through these wrappers so a shard view can log
    its own-bit updates for replay into peer mirrors. Packed one int per op:
-   (line lsl 8) lor (core-or-chip lsl 2) lor op. Serial machines pay one
-   branch. *)
+   (line lsl 14) lor (core-or-chip lsl 2) lor op — 12 bits of core/chip
+   index, wide enough for 256-core sweep topologies. Serial machines pay
+   one branch. *)
 let op_set_core = 0
 let op_clear_core = 1
 let op_set_chip = 2
 let op_clear_chip = 3
 
-let pack_pop ~line ~idx ~op = (line lsl 8) lor (idx lsl 2) lor op
+let pack_pop ~line ~idx ~op = (line lsl 14) lor (idx lsl 2) lor op
 
 let pset_core t ~line ~core =
   Presence.set_core t.presence ~line ~core;
@@ -251,7 +294,7 @@ let fill_l2 t core line =
   if victim >= 0 && not (Cache.contains t.l1.(core) victim) then begin
     pclear_core t ~line:victim ~core;
     (* victim-cache insertion into the chip's L3 *)
-    fill_l3 t (chip_of_core t core) victim
+    fill_l3 t t.chip_tab.(core) victim
   end
 
 let fill_private t core line =
@@ -292,13 +335,13 @@ let read_line t ~core ~chip ~now line =
     (* Missed the local hierarchy: nearest remote holder, else home DRAM. *)
     let holder =
       Presence.nearest_core_holder t.presence ~line ~exclude_core:core
-        ~chip_of_core:t.chip_of_fn ~from_chip:chip ~hops:t.hops_fn
+        ~chip_of:t.chip_tab ~from_chip:chip ~hops:t.hop_mat ~nchips:t.nchips
     in
     let holder_chip =
-      if holder >= 0 then chip_of_core t holder
+      if holder >= 0 then t.chip_tab.(holder)
       else
         Presence.nearest_chip_holder t.presence ~line ~exclude_chip:chip
-          ~from_chip:chip ~hops:t.hops_fn
+          ~from_chip:chip ~hops:t.hop_mat ~nchips:t.nchips
     in
     if holder_chip >= 0 then begin
       c.Counters.remote_hits <- c.Counters.remote_hits + 1;
@@ -314,6 +357,7 @@ let read_line t ~core ~chip ~now line =
       c.Counters.dram_loads <- c.Counters.dram_loads + 1;
       fill_private t core line;
       t.dram_scratch.(home) <- t.dram_scratch.(home) + 1;
+      t.dram_touched <- true;
       notify_access t ~now ~core ~line ~source:src_dram;
       0
     end
@@ -330,87 +374,133 @@ let rec read_lines t ~core ~chip ~now line last acc =
       (acc + read_line t ~core ~chip ~now line)
 
 (* Cost of the batched DRAM traffic tallied in [t.dram_scratch]: fetches
-   to different home banks overlap, so the result is the max over banks. *)
-let rec dram_batch_cost t ~now ~chip home acc =
-  if home >= Array.length t.dram_scratch then acc
+   to different home banks overlap, so the result is the max over banks.
+   Clears each bank tally as it reads it, restoring the all-zero scratch
+   invariant without an [Array.fill] on every access. *)
+let rec dram_batch_loop t ~now ~chip home acc =
+  if home >= t.nchips then acc
   else begin
     let n = t.dram_scratch.(home) in
     let acc =
       if n = 0 then acc
       else begin
+        t.dram_scratch.(home) <- 0;
         let c = Dram.fetch t.dram ~now ~from_chip:chip ~home_chip:home ~lines:n in
         if c > acc then c else acc
       end
     in
-    dram_batch_cost t ~now ~chip (home + 1) acc
+    dram_batch_loop t ~now ~chip (home + 1) acc
   end
+
+let dram_batch_cost t ~now ~chip =
+  if t.dram_touched then begin
+    t.dram_touched <- false;
+    dram_batch_loop t ~now ~chip 0 0
+  end
+  else 0
 
 let read t ~core ~now ~addr ~len =
   if len <= 0 then 0
   else begin
-    let chip = chip_of_core t core in
+    let chip = t.chip_tab.(core) in
     let first = line_of t addr in
     let last = line_of t (addr + len - 1) in
-    Array.fill t.dram_scratch 0 (Array.length t.dram_scratch) 0;
     let cache_cycles = read_lines t ~core ~chip ~now first last 0 in
-    cache_cycles
-    + dram_batch_cost t ~now:(now + cache_cycles) ~chip 0 0
+    cache_cycles + dram_batch_cost t ~now:(now + cache_cycles) ~chip
   end
 
-let invalidate_core_copies t line mask =
-  if mask <> 0 then
-    for h = 0 to Config.cores t.cfg - 1 do
-      if mask land (1 lsl h) <> 0 then begin
-        ignore (Cache.invalidate t.l1.(h) line);
-        ignore (Cache.invalidate t.l2.(h) line);
-        pclear_core t ~line ~core:h
-      end
-    done
+(* Invalidation of every other holder, walking the presence mask words and
+   visiting only the set bits (ascending, as the old all-core loop did). *)
+let rec invalidate_core_bits t line base m =
+  if m <> 0 then begin
+    let bit = m land -m in
+    let h = base + Presence.bit_index bit 0 in
+    ignore (Cache.invalidate t.l1.(h) line);
+    ignore (Cache.invalidate t.l2.(h) line);
+    pclear_core t ~line ~core:h;
+    invalidate_core_bits t line base (m land lnot bit)
+  end
 
-let invalidate_chip_copies t line mask =
-  if mask <> 0 then
-    for p = 0 to t.cfg.Config.chips - 1 do
-      if mask land (1 lsl p) <> 0 then begin
-        ignore (Cache.invalidate t.l3.(p) line);
-        pclear_chip t ~line ~chip:p
-      end
-    done
+let rec invalidate_chip_bits t line m =
+  if m <> 0 then begin
+    let bit = m land -m in
+    let p = Presence.bit_index bit 0 in
+    ignore (Cache.invalidate t.l3.(p) line);
+    pclear_chip t ~line ~chip:p;
+    invalidate_chip_bits t line (m land lnot bit)
+  end
 
-(* Invalidation commands shipped to remote chips: (line lsl 8) lor
+(* Invalidation commands shipped to remote chips: (line lsl 14) lor
    (victim lsl 2) lor kind, where kind 0 invalidates a core's L1+L2 copy
    and kind 1 a chip's L3 copy. *)
 let ik_core = 0
 let ik_chip = 1
 
+(* Serial engine: drop every other core's and chip's copy immediately.
+   Returns whether any other holder existed. *)
+let rec serial_inval_words t line ~xw ~xbit w any =
+  if w >= t.pwords then any
+  else begin
+    let m = Presence.core_word t.presence ~line ~w in
+    let m = if w = xw then m land lnot xbit else m in
+    if m = 0 then serial_inval_words t line ~xw ~xbit (w + 1) any
+    else begin
+      invalidate_core_bits t line (w * 32) m;
+      serial_inval_words t line ~xw ~xbit (w + 1) true
+    end
+  end
+
+(* Sharded engine: same-chip copies drop immediately, exactly as under
+   the serial engine. Remote copies (per this chip's mirror, which may lag
+   true state by up to one window) are invalidated by their owner at the
+   window barrier: we must not touch a peer's caches, nor clear a peer's
+   presence bits — those are the peer's to clear, and the clears reach us
+   through its replayed log. *)
+let rec shard_inval_bits t s line base m any =
+  if m = 0 then any
+  else begin
+    let bit = m land -m in
+    let h = base + Presence.bit_index bit 0 in
+    if h >= s.first_core && h <= s.last_core then begin
+      ignore (Cache.invalidate t.l1.(h) line);
+      ignore (Cache.invalidate t.l2.(h) line);
+      pclear_core t ~line ~core:h
+    end
+    else Intvec.push s.ilog ((line lsl 14) lor (h lsl 2) lor ik_core);
+    shard_inval_bits t s line base (m land lnot bit) true
+  end
+
+let rec shard_inval_words t s line ~xw ~xbit w any =
+  if w >= t.pwords then any
+  else begin
+    let m = Presence.core_word t.presence ~line ~w in
+    let m = if w = xw then m land lnot xbit else m in
+    let any = shard_inval_bits t s line (w * 32) m any in
+    shard_inval_words t s line ~xw ~xbit (w + 1) any
+  end
+
+let rec shard_inval_chip_bits s line m =
+  if m <> 0 then begin
+    let bit = m land -m in
+    let p = Presence.bit_index bit 0 in
+    Intvec.push s.ilog ((line lsl 14) lor (p lsl 2) lor ik_chip);
+    shard_inval_chip_bits s line (m land lnot bit)
+  end
+
 let invalidate_others t ~core ~chip line =
-  let mask = Presence.core_holders t.presence ~line land lnot (1 lsl core) in
+  let xw = core lsr 5 and xbit = 1 lsl (core land 31) in
   let chip_mask =
     Presence.chip_holders t.presence ~line land lnot (1 lsl chip)
   in
-  (match t.shard with
+  match t.shard with
   | None ->
-      invalidate_core_copies t line mask;
-      invalidate_chip_copies t line chip_mask
+      let any = serial_inval_words t line ~xw ~xbit 0 false in
+      invalidate_chip_bits t line chip_mask;
+      any || chip_mask <> 0
   | Some s ->
-      (* Same-chip copies drop immediately, exactly as under the serial
-         engine. Remote copies (per this chip's mirror, which may lag true
-         state by up to one window) are invalidated by their owner at the
-         window barrier: we must not touch a peer's caches, nor clear a
-         peer's presence bits — those are the peer's to clear, and the
-         clears reach us through its replayed log. *)
-      invalidate_core_copies t line (mask land s.cores_mask);
-      let remote_cores = mask land lnot s.cores_mask in
-      if remote_cores <> 0 then
-        for h = 0 to Config.cores t.cfg - 1 do
-          if remote_cores land (1 lsl h) <> 0 then
-            Intvec.push s.ilog ((line lsl 8) lor (h lsl 2) lor ik_core)
-        done;
-      if chip_mask <> 0 then
-        for p = 0 to t.cfg.Config.chips - 1 do
-          if chip_mask land (1 lsl p) <> 0 then
-            Intvec.push s.ilog ((line lsl 8) lor (p lsl 2) lor ik_chip)
-        done);
-  mask <> 0 || chip_mask <> 0
+      let any = shard_inval_words t s line ~xw ~xbit 0 false in
+      shard_inval_chip_bits s line chip_mask;
+      any || chip_mask <> 0
 
 let rec write_lines t ~core ~chip ~now line last acc =
   if line > last then acc
@@ -431,12 +521,11 @@ let rec write_lines t ~core ~chip ~now line last acc =
 let write t ~core ~now ~addr ~len =
   if len <= 0 then 0
   else begin
-    let chip = chip_of_core t core in
+    let chip = t.chip_tab.(core) in
     let first = line_of t addr in
     let last = line_of t (addr + len - 1) in
-    Array.fill t.dram_scratch 0 (Array.length t.dram_scratch) 0;
     let cycles = write_lines t ~core ~chip ~now first last 0 in
-    cycles + dram_batch_cost t ~now:(now + cycles) ~chip 0 0
+    cycles + dram_batch_cost t ~now:(now + cycles) ~chip
   end
 
 let line_resident t ~core ~addr =
@@ -489,9 +578,10 @@ let check_presence_consistency t =
         (fun line ->
           match Cache.level cache with
           | Cache.L1 | Cache.L2 ->
+              let o = Cache.owner cache in
               if
-                Presence.core_holders t.presence ~line
-                land (1 lsl Cache.owner cache)
+                Presence.core_word t.presence ~line ~w:(o lsr 5)
+                land (1 lsl (o land 31))
                 = 0
               then set_err "%s holds line %d but presence bit clear"
                   (Cache.name cache) line
@@ -505,13 +595,19 @@ let check_presence_consistency t =
         cache)
     (all_caches t);
   (* every presence bit must correspond to a cached line *)
-  Presence.iter
-    (fun line ~cores ~chips ->
+  Presence.iter_lines
+    (fun line ->
       for c = 0 to ncores - 1 do
-        if cores land (1 lsl c) <> 0 && not (core_still_holds t c line) then
+        if
+          Presence.core_word t.presence ~line ~w:(c lsr 5)
+          land (1 lsl (c land 31))
+          <> 0
+          && not (core_still_holds t c line)
+        then
           set_err "presence says core %d holds line %d but caches do not" c
             line
       done;
+      let chips = Presence.chip_holders t.presence ~line in
       for p = 0 to t.cfg.Config.chips - 1 do
         if chips land (1 lsl p) <> 0 && not (Cache.contains t.l3.(p) line)
         then set_err "presence says chip %d holds line %d but L3 does not" p line
@@ -521,7 +617,7 @@ let check_presence_consistency t =
 
 let place t ~core ~addr ~l1 ~l2 ~l3 =
   let line = line_of t addr in
-  let chip = chip_of_core t core in
+  let chip = t.chip_tab.(core) in
   if l1 then fill_l1 t core line;
   if l2 then fill_l2 t core line;
   if l1 || l2 then pset_core t ~line ~core;
@@ -545,7 +641,7 @@ let flush_line t ~addr =
 let flush_all t =
   List.iter Cache.clear (all_caches t);
   let lines = ref [] in
-  Presence.iter (fun line ~cores:_ ~chips:_ -> lines := line :: !lines) t.presence;
+  Presence.iter_lines (fun line -> lines := line :: !lines) t.presence;
   List.iter
     (fun line ->
       for c = 0 to Config.cores t.cfg - 1 do
@@ -579,8 +675,8 @@ let shard_replay_presence dst ~src =
   let n = Intvec.length s.plog in
   for i = 0 to n - 1 do
     let e = Intvec.unsafe_get s.plog i in
-    let line = e lsr 8 in
-    let idx = (e lsr 2) land 0x3f in
+    let line = e lsr 14 in
+    let idx = (e lsr 2) land 0xfff in
     match e land 0x3 with
     | 0 (* op_set_core *) -> Presence.set_core dst.presence ~line ~core:idx
     | 1 (* op_clear_core *) -> Presence.clear_core dst.presence ~line ~core:idx
@@ -599,8 +695,8 @@ let shard_apply_invals victim ~src =
   let n = Intvec.length ss.ilog in
   for i = 0 to n - 1 do
     let e = Intvec.unsafe_get ss.ilog i in
-    let line = e lsr 8 in
-    let idx = (e lsr 2) land 0x3f in
+    let line = e lsr 14 in
+    let idx = (e lsr 2) land 0xfff in
     match e land 0x3 with
     | 0 (* ik_core *) ->
         if idx >= sv.first_core && idx <= sv.last_core then begin

@@ -130,9 +130,10 @@ val seconds_of_cycles : t -> int -> float
 
 val shard_view : t -> chip:int -> t
 (** @raise Invalid_argument when applied to a view, or when the config
-    has more than 62 cores — the per-line int presence masks pack one
-    bit per global core, so wider machines (e.g. future64's 8x8) must
-    use the serial engine. *)
+    has more than 4096 cores (the packed shard-log entries carry a
+    12-bit core/chip index). The per-line presence masks are multi-word
+    (32 bits per word), so wide machines — future64's 8x8, 256-core
+    sweeps — shard fine. *)
 
 val shard_chip : t -> int
 (** The view's chip, or [-1] for a root machine. *)

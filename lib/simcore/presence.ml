@@ -1,149 +1,175 @@
-(* Open-addressing linear-probe table: line -> (core mask, chip mask).
-   Stored unboxed in parallel int arrays ([keys] holds line + 1 so 0 means
-   empty); entries whose masks both reach zero are deleted with
-   backward-shift, keeping probe chains short. This sits on the miss path
-   of every simulated load, so it must not allocate. *)
+(* Flat per-line holder arrays, indexed directly by line number: no
+   hashing, no probe chains, no per-line records. Lines are dense small
+   ints (the memory map allocates from a low base), so [chips_.(line)]
+   and the [words]-wide slice of [cores_] at [line * words] are the whole
+   directory entry. This sits on the miss path of every simulated load —
+   lookups are a bounds check and one or two array loads, and nothing on
+   the lookup or update path allocates (growth is amortized doubling,
+   marked [@alloc_ok] for the static manifest).
+
+   Core masks are stored 32 bits per word so configs wider than an OCaml
+   int (future64's 64 cores, or 256-core sweeps) still work: core [c]
+   lives in word [c lsr 5], bit [c land 31]. Chip masks stay one int per
+   line — Machine validates chips <= 62. *)
 
 type t = {
-  mutable keys : int array;  (* line + 1; 0 = empty *)
-  mutable cores_ : int array;
-  mutable chips_ : int array;
-  mutable mask : int;
-  mutable size : int;
+  ncores : int;
+  words : int;  (* 32-bit core-mask words per line *)
+  mutable cap : int;  (* lines covered by the arrays *)
+  mutable cores_ : int array;  (* line * words + w -> core mask word *)
+  mutable chips_ : int array;  (* line -> chip mask *)
+  mutable size : int;  (* lines with at least one holder *)
 }
 
-let initial_bits = 16
+let bits_per_word = 32
 
-let create () =
-  let n = 1 lsl initial_bits in
+let create ~cores =
+  if cores <= 0 then invalid_arg "Presence.create: cores must be positive";
+  let words = (cores + bits_per_word - 1) / bits_per_word in
+  let cap = 4096 in
   {
-    keys = Array.make n 0;
-    cores_ = Array.make n 0;
-    chips_ = Array.make n 0;
-    mask = n - 1;
+    ncores = cores;
+    words;
+    cap;
+    cores_ = Array.make (cap * words) 0;
+    chips_ = Array.make cap 0;
     size = 0;
   }
 
-let hash t line = (line * 0x2545F491) land t.mask
+let words t = t.words
 
-(* Recursive rather than a [ref] loop: no flambda, so a local ref would
-   allocate on every miss-path lookup. *)
-let rec probe_from t k i =
-  if t.keys.(i) <> 0 && t.keys.(i) <> k then probe_from t k ((i + 1) land t.mask)
-  else i
+(* Grow to cover [line]: amortized doubling, off the steady-state path
+   (a line is grown past at most once per run). *)
+let grow t line =
+  let rec next cap = if cap > line then cap else next (2 * cap) in
+  let cap = next (2 * t.cap) in
+  let cores_ = Array.make (cap * t.words) 0 in
+  Array.blit t.cores_ 0 cores_ 0 (t.cap * t.words);
+  let chips_ = Array.make cap 0 in
+  Array.blit t.chips_ 0 chips_ 0 t.cap;
+  t.cores_ <- cores_;
+  t.chips_ <- chips_;
+  t.cap <- cap
+  [@@alloc_ok "amortized doubling of the per-line arrays"]
 
-let probe t line = probe_from t (line + 1) (hash t line)
+(* Whether [line]'s entry is all-zero, scanning its core words. [words]
+   is 1 for <= 32 cores, 2 for future64 — the scan is a couple of loads. *)
+let rec words_empty t base w =
+  w < 0 || (t.cores_.(base + w) = 0 && words_empty t base (w - 1))
 
-let rec grow t =
-  let old_keys = t.keys and old_cores = t.cores_ and old_chips = t.chips_ in
-  let n = 2 * (t.mask + 1) in
-  t.keys <- Array.make n 0;
-  t.cores_ <- Array.make n 0;
-  t.chips_ <- Array.make n 0;
-  t.mask <- n - 1;
-  t.size <- 0;
-  Array.iteri
-    (fun i k ->
-      if k <> 0 then insert_masks t (k - 1) old_cores.(i) old_chips.(i))
-    old_keys
+let line_empty t line =
+  t.chips_.(line) = 0 && words_empty t (line * t.words) (t.words - 1)
 
-and insert_masks t line cores chips =
-  if 2 * (t.size + 1) > t.mask + 1 then grow t;
-  let i = probe t line in
-  if t.keys.(i) = 0 then begin
-    t.keys.(i) <- line + 1;
-    t.size <- t.size + 1
-  end;
-  t.cores_.(i) <- t.cores_.(i) lor cores;
-  t.chips_.(i) <- t.chips_.(i) lor chips
+let set_core t ~line ~core =
+  if line >= t.cap then grow t line;
+  let was_empty = line_empty t line in
+  let i = (line * t.words) + (core lsr 5) in
+  t.cores_.(i) <- t.cores_.(i) lor (1 lsl (core land 31));
+  if was_empty then t.size <- t.size + 1
 
-let rec backward_shift t i j =
-  if t.keys.(j) <> 0 then begin
-    let h = (t.keys.(j) - 1) * 0x2545F491 land t.mask in
-    if (j - h) land t.mask >= (j - i) land t.mask then begin
-      t.keys.(i) <- t.keys.(j);
-      t.cores_.(i) <- t.cores_.(j);
-      t.chips_.(i) <- t.chips_.(j);
-      t.keys.(j) <- 0;
-      t.cores_.(j) <- 0;
-      t.chips_.(j) <- 0;
-      backward_shift t j ((j + 1) land t.mask)
-    end
-    else backward_shift t i ((j + 1) land t.mask)
-  end
-
-let delete_at t i =
-  t.keys.(i) <- 0;
-  t.cores_.(i) <- 0;
-  t.chips_.(i) <- 0;
-  t.size <- t.size - 1;
-  backward_shift t i ((i + 1) land t.mask)
-
-let set_core t ~line ~core = insert_masks t line (1 lsl core) 0
-let set_chip t ~line ~chip = insert_masks t line 0 (1 lsl chip)
+let set_chip t ~line ~chip =
+  if line >= t.cap then grow t line;
+  let was_empty = line_empty t line in
+  t.chips_.(line) <- t.chips_.(line) lor (1 lsl chip);
+  if was_empty then t.size <- t.size + 1
 
 let clear_core t ~line ~core =
-  let i = probe t line in
-  if t.keys.(i) <> 0 then begin
-    t.cores_.(i) <- t.cores_.(i) land lnot (1 lsl core);
-    if t.cores_.(i) = 0 && t.chips_.(i) = 0 then delete_at t i
+  if line < t.cap then begin
+    let i = (line * t.words) + (core lsr 5) in
+    let m = t.cores_.(i) in
+    let m' = m land lnot (1 lsl (core land 31)) in
+    if m' <> m then begin
+      t.cores_.(i) <- m';
+      if line_empty t line then t.size <- t.size - 1
+    end
   end
 
 let clear_chip t ~line ~chip =
-  let i = probe t line in
-  if t.keys.(i) <> 0 then begin
-    t.chips_.(i) <- t.chips_.(i) land lnot (1 lsl chip);
-    if t.cores_.(i) = 0 && t.chips_.(i) = 0 then delete_at t i
+  if line < t.cap then begin
+    let m = t.chips_.(line) in
+    let m' = m land lnot (1 lsl chip) in
+    if m' <> m then begin
+      t.chips_.(line) <- m';
+      if line_empty t line then t.size <- t.size - 1
+    end
   end
 
+let core_word t ~line ~w = if line < t.cap then t.cores_.((line * t.words) + w) else 0
+let chip_holders t ~line = if line < t.cap then t.chips_.(line) else 0
+
+(* Single-int core mask, for configs narrow enough that every core bit
+   fits one OCaml int (all test/consistency callers run amd16). *)
 let core_holders t ~line =
-  let i = probe t line in
-  if t.keys.(i) = 0 then 0 else t.cores_.(i)
+  if t.ncores > 62 then
+    invalid_arg "Presence.core_holders: more than 62 cores; use core_word"
+  else if line >= t.cap then 0
+  else begin
+    let base = line * t.words in
+    if t.words = 1 then t.cores_.(base)
+    else t.cores_.(base) lor (t.cores_.(base + 1) lsl bits_per_word)
+  end
 
-let chip_holders t ~line =
-  let i = probe t line in
-  if t.keys.(i) = 0 then 0 else t.chips_.(i)
-
-let cached_anywhere t ~line =
-  let i = probe t line in
-  t.keys.(i) <> 0 && (t.cores_.(i) <> 0 || t.chips_.(i) <> 0)
+let cached_anywhere t ~line = line < t.cap && not (line_empty t line)
 
 (* The nearest-holder scans return a bare id with [-1] for "no holder",
-   and loop over the mask bits directly — no option, no closure, no refs —
-   because they run on the miss path of every simulated load. Ties on hop
-   distance go to the lowest id (the lowest set bit wins). *)
+   and loop over mask words and bits directly — no option, no closure, no
+   refs — because they run on the miss path of every simulated load.
+   [chip_of] is the per-core chip table and [hops] the flat chips x chips
+   hop matrix (row-major), both prebuilt by Machine. Ties on hop distance
+   go to the lowest id: words ascend and the lowest set bit wins. *)
 let rec bit_index b i = if b = 1 then i else bit_index (b lsr 1) (i + 1)
 
-let rec nearest_core_loop ~chip_of_core ~from_chip ~hops mask best best_h =
+let rec nearest_core_bits ~chip_of ~hops ~row base mask best best_h =
   if mask = 0 then best
   else begin
     let bit = mask land -mask in
-    let core = bit_index bit 0 in
-    let h = hops from_chip (chip_of_core core) in
+    let core = base + bit_index bit 0 in
+    let h = hops.(row + chip_of.(core)) in
     let rest = mask land lnot bit in
-    if h < best_h then
-      nearest_core_loop ~chip_of_core ~from_chip ~hops rest core h
-    else nearest_core_loop ~chip_of_core ~from_chip ~hops rest best best_h
+    if h < best_h then nearest_core_bits ~chip_of ~hops ~row base rest core h
+    else nearest_core_bits ~chip_of ~hops ~row base rest best best_h
   end
 
-let nearest_core_holder t ~line ~exclude_core ~chip_of_core ~from_chip ~hops =
-  let mask = core_holders t ~line land lnot (1 lsl exclude_core) in
-  nearest_core_loop ~chip_of_core ~from_chip ~hops mask (-1) max_int
+let rec nearest_core_words t ~line ~exclude_core ~chip_of ~hops ~row w best
+    best_h =
+  if w >= t.words then best
+  else begin
+    let mask = t.cores_.((line * t.words) + w) in
+    let mask =
+      if exclude_core lsr 5 = w then mask land lnot (1 lsl (exclude_core land 31))
+      else mask
+    in
+    let best =
+      nearest_core_bits ~chip_of ~hops ~row (w * bits_per_word) mask best best_h
+    in
+    let best_h = if best >= 0 then hops.(row + chip_of.(best)) else best_h in
+    nearest_core_words t ~line ~exclude_core ~chip_of ~hops ~row (w + 1) best
+      best_h
+  end
 
-let rec nearest_chip_loop ~from_chip ~hops mask best best_h =
+let nearest_core_holder t ~line ~exclude_core ~chip_of ~from_chip ~hops ~nchips =
+  if line >= t.cap then -1
+  else
+    nearest_core_words t ~line ~exclude_core ~chip_of ~hops
+      ~row:(from_chip * nchips) 0 (-1) max_int
+
+let rec nearest_chip_bits ~hops ~row mask best best_h =
   if mask = 0 then best
   else begin
     let bit = mask land -mask in
     let chip = bit_index bit 0 in
-    let h = hops from_chip chip in
+    let h = hops.(row + chip) in
     let rest = mask land lnot bit in
-    if h < best_h then nearest_chip_loop ~from_chip ~hops rest chip h
-    else nearest_chip_loop ~from_chip ~hops rest best best_h
+    if h < best_h then nearest_chip_bits ~hops ~row rest chip h
+    else nearest_chip_bits ~hops ~row rest best best_h
   end
 
-let nearest_chip_holder t ~line ~exclude_chip ~from_chip ~hops =
-  let mask = chip_holders t ~line land lnot (1 lsl exclude_chip) in
-  nearest_chip_loop ~from_chip ~hops mask (-1) max_int
+let nearest_chip_holder t ~line ~exclude_chip ~from_chip ~hops ~nchips =
+  if line >= t.cap then -1
+  else begin
+    let mask = t.chips_.(line) land lnot (1 lsl exclude_chip) in
+    nearest_chip_bits ~hops ~row:(from_chip * nchips) mask (-1) max_int
+  end
 
 let tracked_lines t = t.size
 
@@ -151,16 +177,26 @@ let popcount mask =
   let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
   go mask 0
 
+let rec core_popcount_words t base w acc =
+  if w >= t.words then acc
+  else core_popcount_words t base (w + 1) (acc + popcount t.cores_.(base + w))
+
+let core_popcount t ~line =
+  if line >= t.cap then 0 else core_popcount_words t (line * t.words) 0 0
+
 (* Lines with private copies on two or more cores: the hardware is
    replicating them, the opposite of what object packing wants. *)
 let replicated_lines t =
   let n = ref 0 in
-  Array.iteri
-    (fun i k -> if k <> 0 && popcount t.cores_.(i) >= 2 then incr n)
-    t.keys;
+  for line = 0 to t.cap - 1 do
+    if core_popcount t ~line >= 2 then incr n
+  done;
   !n
 
-let iter f t =
-  Array.iteri
-    (fun i k -> if k <> 0 then f (k - 1) ~cores:t.cores_.(i) ~chips:t.chips_.(i))
-    t.keys
+(* Lines with at least one holder, ascending. (The old hash-table
+   implementation iterated in probe order; every caller is
+   order-independent, but ascending is what they now see.) *)
+let iter_lines f t =
+  for line = 0 to t.cap - 1 do
+    if not (line_empty t line) then f line
+  done

@@ -6,11 +6,23 @@
     carries: a read miss consults it to find the nearest copy; a write
     consults it to invalidate every other copy. It is a pure bookkeeping
     structure — {!Machine} is responsible for keeping it consistent with
-    the per-cache LRU contents (a property the test suite checks). *)
+    the per-cache LRU contents (a property the test suite checks).
+
+    Storage is flat struct-of-arrays: the line number indexes directly
+    into per-line mask arrays (no hashing, no per-line records). Core
+    masks are 32 bits per word so topologies wider than an OCaml int
+    (64–256 cores) work; chip masks are one int per line (<= 62 chips,
+    validated by {!Machine}). Lookups never allocate; updates allocate
+    only when the arrays double to cover a new highest line. *)
 
 type t
 
-val create : unit -> t
+val create : cores:int -> t
+(** [create ~cores] — [cores] fixes the core-mask width (number of
+    32-bit words per line). Raises [Invalid_argument] if [cores <= 0]. *)
+
+val words : t -> int
+(** Number of 32-bit core-mask words per line. *)
 
 val set_core : t -> line:int -> core:int -> unit
 (** Record that [core]'s private hierarchy now holds [line]. *)
@@ -22,8 +34,14 @@ val set_chip : t -> line:int -> chip:int -> unit
 
 val clear_chip : t -> line:int -> chip:int -> unit
 
+val core_word : t -> line:int -> w:int -> int
+(** [core_word t ~line ~w] is the [w]th 32-bit word of [line]'s core
+    mask: core [c] is bit [c land 31] of word [c lsr 5]. *)
+
 val core_holders : t -> line:int -> int
-(** Bitmask of cores whose private caches hold [line]. *)
+(** Bitmask of cores whose private caches hold [line]. Only valid for
+    configs of at most 62 cores (every bit fits one OCaml int); raises
+    [Invalid_argument] on wider ones — use {!core_word} there. *)
 
 val chip_holders : t -> line:int -> int
 (** Bitmask of chips whose L3 holds [line]. *)
@@ -31,16 +49,18 @@ val chip_holders : t -> line:int -> int
 val cached_anywhere : t -> line:int -> bool
 
 val nearest_core_holder :
-  t -> line:int -> exclude_core:int -> chip_of_core:(int -> int) -> from_chip:int ->
-  hops:(int -> int -> int) -> int
+  t -> line:int -> exclude_core:int -> chip_of:int array -> from_chip:int ->
+  hops:int array -> nchips:int -> int
 (** The holder core (other than [exclude_core]) whose chip is fewest hops
     from [from_chip]; ties broken by lowest core id. [-1] when no other
     core holds the line — a bare int rather than an option, because this
-    runs on the miss path of every simulated load and must not allocate. *)
+    runs on the miss path of every simulated load and must not allocate.
+    [chip_of] maps core to chip and [hops] is the flat row-major
+    [nchips * nchips] hop matrix, both prebuilt by {!Machine}. *)
 
 val nearest_chip_holder :
   t -> line:int -> exclude_chip:int -> from_chip:int ->
-  hops:(int -> int -> int) -> int
+  hops:int array -> nchips:int -> int
 (** Nearest chip (other than [exclude_chip]) whose L3 holds [line]; [-1]
     when none. *)
 
@@ -50,9 +70,17 @@ val tracked_lines : t -> int
 val popcount : int -> int
 (** Bits set in a holder mask. *)
 
+val bit_index : int -> int -> int
+(** [bit_index b i] is the index of the single set bit in [b], plus [i]
+    ([b] must be a power of two — typically [m land -m]). *)
+
+val core_popcount : t -> line:int -> int
+(** Cores privately holding [line] (popcount across all mask words). *)
+
 val replicated_lines : t -> int
 (** Lines held in the private hierarchy of two or more cores — data the
     hardware is replicating rather than the scheduler partitioning (the
     cache observatory reports this alongside occupancy). *)
 
-val iter : (int -> cores:int -> chips:int -> unit) -> t -> unit
+val iter_lines : (int -> unit) -> t -> unit
+(** Iterate over lines with at least one holder, in ascending line order. *)

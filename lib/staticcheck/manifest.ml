@@ -45,15 +45,29 @@ let default =
       functions =
         [ "probe_from"; "probe"; "find_slot"; "mem"; "touch"; "unlink";
           "push_front"; "install"; "add_evict"; "remove"; "backward_shift";
-          "table_delete_at"; "table_remove" ] };
-    (* presence masks on the miss path of every simulated load *)
+          "table_delete_at"; "table_remove"; "next_of"; "prev_of";
+          "pack_link"; "set_next"; "set_prev"; "hash" ] };
+    (* the access walk itself: every simulated load and store *)
+    { module_ = "Machine";
+      functions =
+        [ "line_of"; "read"; "write"; "read_line"; "read_lines";
+          "write_lines"; "dram_batch_loop"; "dram_batch_cost"; "fill_l1";
+          "fill_l2"; "fill_l3"; "fill_private"; "pset_core"; "pclear_core";
+          "pset_chip"; "pclear_chip"; "core_still_holds";
+          "invalidate_core_bits"; "invalidate_chip_bits";
+          "serial_inval_words"; "shard_inval_bits"; "shard_inval_words";
+          "shard_inval_chip_bits"; "invalidate_others"; "notify_fill";
+          "notify_remove"; "notify_access"; "fill_list"; "remove_list";
+          "access_list" ] };
+    (* flat per-line presence masks on the miss path of every simulated
+       load: direct indexing, so the old hash-probe helpers are gone *)
     { module_ = "Presence";
       functions =
-        [ "probe_from"; "probe"; "insert_masks"; "set_core"; "set_chip";
-          "clear_core"; "clear_chip"; "core_holders"; "chip_holders";
-          "cached_anywhere"; "bit_index"; "nearest_core_loop";
-          "nearest_core_holder"; "nearest_chip_loop"; "nearest_chip_holder";
-          "delete_at"; "backward_shift" ] };
+        [ "words_empty"; "line_empty"; "set_core"; "set_chip";
+          "clear_core"; "clear_chip"; "core_word"; "chip_holders";
+          "cached_anywhere"; "bit_index"; "nearest_core_bits";
+          "nearest_core_words"; "nearest_core_holder"; "nearest_chip_bits";
+          "nearest_chip_holder"; "core_popcount" ] };
     (* FAT scan kernel: in-place 8.3 compare + packed scan + chain step *)
     { module_ = "Fat_types";
       functions = [ "is_end"; "is_deleted"; "name_eq_from"; "name_matches" ] };

@@ -138,6 +138,94 @@ let test_machine_miss_paths_unobserved () =
   in
   check_zero_alloc "coherence invalidation, no observer" words
 
+(* The flat presence directory's nearest-holder scans, probed directly:
+   per-line mask words walked bit by bit against the prebuilt core->chip
+   table and hop matrix, exactly as Machine's miss path drives them. No
+   options, no closures, no refs — a scan is loads and shifts only. *)
+let test_presence_scan_zero_alloc () =
+  let cfg = Config.amd16 in
+  let ncores = Config.cores cfg in
+  let nchips = cfg.Config.chips in
+  let p = Presence.create ~cores:ncores in
+  let topo = Topology.create cfg in
+  let chip_of = Array.init ncores (Config.chip_of_core cfg) in
+  let hops =
+    Array.init (nchips * nchips) (fun i ->
+        Topology.hops topo (i / nchips) (i mod nchips))
+  in
+  (* scatter holders so scans cross mask words and chips *)
+  for line = 0 to 255 do
+    Presence.set_core p ~line ~core:(line mod ncores);
+    Presence.set_chip p ~line ~chip:(line mod nchips)
+  done;
+  let words =
+    minor_words_during (fun () ->
+        for i = 1 to iters do
+          let line = i land 255 in
+          ignore
+            (Presence.nearest_core_holder p ~line ~exclude_core:0 ~chip_of
+               ~from_chip:0 ~hops ~nchips);
+          ignore
+            (Presence.nearest_chip_holder p ~line ~exclude_chip:0 ~from_chip:0
+               ~hops ~nchips);
+          ignore (Presence.cached_anywhere p ~line)
+        done)
+  in
+  check_zero_alloc "presence nearest-holder scans" words
+
+(* The observed counterpart of the miss-path probe: with a (no-op)
+   observer subscribed, the notification fan-outs are recursive list
+   walks, not closures — so hit, fill+evict and invalidation paths still
+   allocate nothing beyond what the observer itself does. *)
+let test_machine_paths_observed_noop () =
+  let machine = Machine.create Config.amd16 in
+  Machine.observe machine
+    {
+      Machine.on_access = (fun ~now:_ ~core:_ ~line:_ ~source:_ -> ());
+      on_fill = (fun ~cache:_ ~line:_ ~victim:_ -> ());
+      on_remove = (fun ~cache:_ ~line:_ -> ());
+    };
+  Alcotest.(check bool) "observer installed" true (Machine.observed machine);
+  let mem = Machine.memory machine in
+  let hot = Memsys.alloc mem ~name:"hot" ~size:64 in
+  ignore (Machine.read machine ~core:0 ~now:0 ~addr:hot.Memsys.base ~len:8);
+  let words =
+    minor_words_during (fun () ->
+        for i = 1 to iters do
+          ignore
+            (Machine.read machine ~core:0 ~now:i ~addr:hot.Memsys.base ~len:8)
+        done)
+  in
+  check_zero_alloc "observed L1 hit" words;
+  let lines = 2048 in
+  let ext = Memsys.alloc mem ~name:"stream" ~size:(lines * 64) in
+  let base = ext.Memsys.base in
+  for i = 0 to lines - 1 do
+    ignore (Machine.read machine ~core:0 ~now:i ~addr:(base + (i * 64)) ~len:8)
+  done;
+  let words =
+    minor_words_during (fun () ->
+        for i = 1 to iters do
+          ignore
+            (Machine.read machine ~core:0 ~now:(lines + i)
+               ~addr:(base + (i mod lines * 64))
+               ~len:8)
+        done)
+  in
+  check_zero_alloc "observed L1 fill+evict stream" words;
+  let ping = Memsys.alloc mem ~name:"ping" ~size:64 in
+  let addr = ping.Memsys.base in
+  ignore (Machine.read machine ~core:1 ~now:0 ~addr ~len:8);
+  ignore (Machine.write machine ~core:2 ~now:1 ~addr ~len:8);
+  let words =
+    minor_words_during (fun () ->
+        for i = 1 to iters do
+          ignore (Machine.read machine ~core:1 ~now:(2 * i) ~addr ~len:8);
+          ignore (Machine.write machine ~core:2 ~now:((2 * i) + 1) ~addr ~len:8)
+        done)
+  in
+  check_zero_alloc "observed coherence invalidation" words
+
 (* The flight recorder's zero-cost-when-idle claim: producers guard event
    construction with Probe.active, so with no subscriber the whole
    emission path — guard included — allocates nothing. (With a recorder
@@ -288,6 +376,10 @@ let suite =
       `Quick test_fat_scan_miss;
     Alcotest.test_case "unobserved miss paths allocate nothing" `Quick
       test_machine_miss_paths_unobserved;
+    Alcotest.test_case "presence nearest-holder scans allocate nothing"
+      `Quick test_presence_scan_zero_alloc;
+    Alcotest.test_case "observed paths allocate nothing beyond the observer"
+      `Quick test_machine_paths_observed_noop;
     Alcotest.test_case "recorder-off probe path allocates nothing" `Quick
       test_probe_inactive_emits_nothing;
     Alcotest.test_case "quiet rebalancer period allocates nothing" `Quick

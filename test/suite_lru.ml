@@ -165,6 +165,41 @@ let prop_matches_model =
           && Result.is_ok (Lru.check_invariants t))
         ops)
 
+(* Same model check with keys at the top of the packed 25-bit range:
+   table entries store [(key lsl 25) lor (slot+1)], so maximal keys
+   exercise the high bits of the packed word and the single-load probe
+   compare. A 64-key pool keeps the sequences collision-rich. *)
+let wide_key_base = (1 lsl 25) - 64
+
+let wide_op_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun k -> Add (wide_key_base + k)) (int_bound 63);
+        map (fun k -> Touch (wide_key_base + k)) (int_bound 63);
+        map (fun k -> Remove (wide_key_base + k)) (int_bound 63);
+      ])
+
+let prop_matches_model_wide_keys =
+  QCheck2.Test.make ~name:"lru matches reference model (25-bit keys)"
+    ~count:300
+    QCheck2.Gen.(pair (int_range 1 12) (list_size (int_bound 200) wide_op_gen))
+    (fun (cap, ops) ->
+      let t = Lru.create ~cap in
+      let m = Model.create cap in
+      List.for_all
+        (fun op ->
+          let same =
+            match op with
+            | Add k -> Lru.add t k = Model.add m k
+            | Touch k -> Lru.touch t k = Model.touch m k
+            | Remove k -> Lru.remove t k = Model.remove m k
+          in
+          same
+          && Lru.to_list t = m.Model.l
+          && Result.is_ok (Lru.check_invariants t))
+        ops)
+
 let suite =
   [
     Alcotest.test_case "create rejects bad capacity" `Quick test_create_invalid;
@@ -178,4 +213,5 @@ let suite =
     Alcotest.test_case "capacity one: full operation cycle" `Quick
       test_capacity_one_full_cycle;
     QCheck_alcotest.to_alcotest prop_matches_model;
+    QCheck_alcotest.to_alcotest prop_matches_model_wide_keys;
   ]

@@ -33,7 +33,13 @@ let test_sync_window () =
 let test_smoke () =
   let e = sharded ~shards:4 () in
   Alcotest.(check bool) "sharded" true (Engine.is_sharded e);
-  Alcotest.(check int) "domains = min(shards, chips)" 4 (Engine.shards e);
+  (* requested shard counts clamp to the host's cores before the
+     min-with-chips split, so this is exact on any runner width *)
+  let expected =
+    max 1 (min (Domain_pool.clamped ~what:"shards" 4) cfg.Config.chips)
+  in
+  Alcotest.(check int) "domains = min(clamped shards, chips)" expected
+    (Engine.shards e);
   for chip = 0 to cfg.Config.chips - 1 do
     ignore
       (Engine.spawn e ~core:(core_on chip) ~name:"t" (fun () ->
@@ -44,6 +50,22 @@ let test_smoke () =
   for chip = 0 to cfg.Config.chips - 1 do
     Alcotest.(check int) "clock advanced" 1000 (Engine.core_clock e (core_on chip))
   done
+
+(* Regression: an oversubscribed --shards request must not spin up more
+   domains than the host has cores — before the clamp, shards=4 on a
+   1-core runner was ~11x slower than shards=1 (BENCH_fig4.json), all of
+   it barrier spinning with no parallelism underneath. *)
+let test_shards_clamped () =
+  let e = sharded ~shards:1024 () in
+  let expected =
+    max 1 (min (Domain_pool.clamped ~what:"shards" 1024) cfg.Config.chips)
+  in
+  Alcotest.(check int) "oversubscribed request clamps" expected
+    (Engine.shards e);
+  let ran = ref false in
+  ignore (Engine.spawn e ~core:0 ~name:"t" (fun () -> ran := true));
+  Engine.run e;
+  Alcotest.(check bool) "clamped engine still runs" true !ran
 
 let test_serial_engine_unchanged () =
   let e = Engine.create (machine ()) in
@@ -152,16 +174,37 @@ let test_mid_run_spawn () =
   Alcotest.(check bool) "starts no earlier than the spawn window" true
     (Engine.core_clock e (core_on 2) > spawn_at)
 
-(* Presence masks pack one bit per global core into an int: configs wider
-   than 62 cores (future64 is 8x8) must be rejected by the sharded
-   engine, not silently mask-corrupted. *)
-let test_wide_config_rejected () =
-  let m = Machine.create Config.future64 in
-  Alcotest.(check bool) "64-core config rejected" true
-    (try
-       ignore (Engine.create_sharded m ~shards:2);
-       false
-     with Invalid_argument _ -> true)
+(* Presence masks are multi-word (32 bits per word), so configs wider
+   than an OCaml int shard correctly: future64 (8x8 = 64 cores, core 63
+   in the second mask word) must produce identical counters at every
+   shard count. The old single-int masks silently dropped core 63's bit
+   and the sharded engine rejected >62 cores outright. *)
+let test_wide_config_shards () =
+  let run mk =
+    let m = Machine.create Config.future64 in
+    let e = mk m in
+    let last = Config.cores Config.future64 - 1 in
+    (* touch the same lines from core 0 and core 63 so the top bit of
+       the wide mask is exercised by hits, invalidations and presence *)
+    ignore
+      (Engine.spawn e ~core:last ~name:"hi" (fun () ->
+           ignore (Api.read ~addr:0 ~len:4096);
+           Api.compute 500;
+           ignore (Api.write ~addr:0 ~len:4096)));
+    ignore
+      (Engine.spawn e ~core:0 ~name:"lo" (fun () ->
+           ignore (Api.read ~addr:0 ~len:4096);
+           Api.compute 9000;
+           ignore (Api.read ~addr:0 ~len:4096)));
+    Engine.run e;
+    counters_digest e
+  in
+  let one = run (fun m -> Engine.create_sharded m ~shards:1) in
+  let two = run (fun m -> Engine.create_sharded m ~shards:2) in
+  Alcotest.(check string) "64-core counters identical at shards 1 vs 2" one
+    two;
+  (* and the serial engine accepts the wide config too *)
+  ignore (run (fun m -> Engine.create m))
 
 (* Same-chip locking under sharding uses the exact serial path: no
    protocol messages, no extra latency. *)
@@ -416,6 +459,24 @@ let test_golden_ablations_sharded () =
     (fun ~shards -> golden_ablation_cells ~shards)
     ~digest:"2f8861d57ca864cf67eeb5a29dc7566b" ~total_ops:803
 
+(* E10's own sharded golden: the future 64-core config on the windowed
+   engine (8 chips, one logical shard each; core 63 lives in the second
+   presence-mask word). Pinned from the first multi-word-mask
+   implementation — the sweep itself runs through the same Harness path
+   with longer horizons. *)
+let golden_future_cells ~shards =
+  let spec = O2_workload.Dir_workload.spec_for_data_kb ~kb:256 () in
+  List.map
+    (fun policy ->
+      Harness.setup ~cfg:Config.future64 ~policy ~warmup:1_000_000
+        ~measure:1_000_000 ~shards spec)
+    [ Coretime.Policy.baseline; Coretime.Policy.default ]
+
+let test_golden_future_sharded () =
+  check_sharded_golden "future64-small-sharded (E10)"
+    (fun ~shards -> golden_future_cells ~shards)
+    ~digest:"191a341ebaffbfe20386ca00107c7720" ~total_ops:524
+
 let test_attach_rejected () =
   let s =
     Harness.setup ~warmup:1000 ~measure:1000 ~shards:2
@@ -431,6 +492,8 @@ let suite =
   [
     Alcotest.test_case "sync window" `Quick test_sync_window;
     Alcotest.test_case "smoke" `Quick test_smoke;
+    Alcotest.test_case "oversubscribed shards clamp" `Quick
+      test_shards_clamped;
     Alcotest.test_case "serial engine unchanged" `Quick
       test_serial_engine_unchanged;
     Alcotest.test_case "shard-count invariance" `Quick
@@ -441,8 +504,8 @@ let suite =
       test_cross_chip_migration_counters;
     Alcotest.test_case "mid-run spawn clamps to the window cursor" `Quick
       test_mid_run_spawn;
-    Alcotest.test_case "wide config rejected" `Quick
-      test_wide_config_rejected;
+    Alcotest.test_case "wide config shards bit-identically" `Quick
+      test_wide_config_shards;
     Alcotest.test_case "same-chip lock is serial" `Quick
       test_same_chip_lock_is_serial;
     Alcotest.test_case "remote lock round trip" `Quick
@@ -462,6 +525,8 @@ let suite =
     Alcotest.test_case "golden fig4b sharded" `Slow test_golden_fig4b_sharded;
     Alcotest.test_case "golden ablations sharded" `Slow
       test_golden_ablations_sharded;
+    Alcotest.test_case "golden future64 sharded (E10)" `Slow
+      test_golden_future_sharded;
     Alcotest.test_case "attach rejected with shards" `Quick
       test_attach_rejected;
   ]
