@@ -410,6 +410,48 @@ let test_kv_cell_sim =
          let b = O2_native.Sim_backend.create () in
          Sim_kv_cell.run_cell b))
 
+(* What the flight recorder costs. The metrics-only row prices exactly
+   what with_op adds per op when telemetry is attached without a ring:
+   two CLOCK_MONOTONIC reads plus log2-bucket accumulator updates — the
+   overhead left inside the throughput measurement when native_exp runs
+   with --metrics. The cell rows price the whole thing end to end
+   against the telemetry-off cell above: metrics-only (ring_capacity 0)
+   and full tracing (every op's span events in the ring). A fresh
+   Telemetry per run keeps the ring in its append regime rather than
+   measuring the saturated drop path. *)
+let test_tel_metrics_op =
+  let tel = O2_runtime.Telemetry.create ~ring_capacity:0 ~sample:0 ~domains:1 () in
+  let s = O2_runtime.Telemetry.sink tel 0 in
+  Test.make ~name:"telemetry/per-op metrics (2 clock reads + accs)"
+    (Staged.stage (fun () ->
+         let t0 = O2_runtime.Telemetry.now_ns () in
+         let t1 = O2_runtime.Telemetry.now_ns () in
+         O2_runtime.Telemetry.observe_home s (t1 - t0);
+         O2_runtime.Telemetry.observe_exec s (t1 - t0)))
+
+let test_kv_cell_native_metrics =
+  Test.make ~name:"native/kv cell (512 ops, telemetry metrics)"
+    (Staged.stage (fun () ->
+         let tel =
+           O2_runtime.Telemetry.create ~ring_capacity:0 ~sample:0 ~domains:1 ()
+         in
+         let b = O2_native.Native_backend.create ~telemetry:tel ~domains:1 () in
+         Fun.protect
+           ~finally:(fun () -> O2_native.Native_backend.shutdown b)
+           (fun () -> Native_kv_cell.run_cell b)))
+
+let test_kv_cell_native_traced =
+  Test.make ~name:"native/kv cell (512 ops, telemetry ring, sample 1)"
+    (Staged.stage (fun () ->
+         let tel =
+           O2_runtime.Telemetry.create ~ring_capacity:(1 lsl 14) ~sample:1
+             ~domains:1 ()
+         in
+         let b = O2_native.Native_backend.create ~telemetry:tel ~domains:1 () in
+         Fun.protect
+           ~finally:(fun () -> O2_native.Native_backend.shutdown b)
+           (fun () -> Native_kv_cell.run_cell b)))
+
 (* Full o2staticcheck run over the repo's build tree: .cmt discovery,
    parsing, and all four typedtree passes. Prices the static stage that
    @lint-source adds to the gate; run from the repo root after a build. *)
@@ -447,6 +489,9 @@ let bechamel_tests =
     (`Fast, test_deque_steal);
     (`Slow, test_kv_cell_native);
     (`Slow, test_kv_cell_sim);
+    (`Fast, test_tel_metrics_op);
+    (`Slow, test_kv_cell_native_metrics);
+    (`Slow, test_kv_cell_native_traced);
     (`Fast, test_rebalancer_step 1024);
     (`Fast, test_rebalancer_step 16384);
     (`Fast, test_iter_assigned);
@@ -593,7 +638,7 @@ let run_fig4_json ~jobs path =
 let run_native_json ~quick path =
   let ok =
     O2_experiments.Native_exp.run_cli ~quick ~domains:2 ~json:(Some path)
-      Format.std_formatter
+      ~metrics:false ~trace:None ~trace_sample:1 Format.std_formatter
   in
   Format.pp_print_flush Format.std_formatter ();
   if ok then 0 else 1

@@ -68,8 +68,11 @@ let backend_arg =
      machine; $(b,native) runs the object/operation model on real OCaml 5 \
      domains instead — wall-clock kv/dir throughput plus the \
      simulator-as-oracle cross-check (DESIGN.md, 'Two backends, one \
-     API'). Native mode takes no experiment ids and is incompatible with \
-     $(b,--shards) and the observability flags."
+     API'). Native mode takes no experiment ids; $(b,--metrics), \
+     $(b,--trace) and $(b,--trace-sample) attach the wall-clock flight \
+     recorder, while the flags that read simulated state \
+     ($(b,--shards)/$(b,--occupancy)/$(b,--heat)/$(b,--explain)) are \
+     refused with a pointer at what to use instead."
   in
   Arg.(
     value
@@ -97,7 +100,9 @@ let metrics_arg =
   let doc =
     "Attach the flight recorder's metrics registry and print latency \
      histograms / counters (quickstart, figures, and the ablations that \
-     support per-cell metric columns)."
+     support per-cell metric columns). With $(b,--backend native): attach \
+     the wall-clock telemetry sinks and print the o2top readout in \
+     nanoseconds plus a per-domain steal/ship/park breakdown."
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
@@ -105,14 +110,18 @@ let trace_arg =
   let doc =
     "Record the run with the flight recorder and write Chrome/Perfetto \
      trace_event JSON to $(docv) (load it at https://ui.perfetto.dev). On \
-     figure sweeps the trace covers one representative 8 MB cell."
+     figure sweeps the trace covers one representative 8 MB cell; with \
+     $(b,--backend native) it covers the observed kv cell — wall-clock \
+     time, one track per domain, ship handoffs as flow arrows."
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
 let trace_sample_arg =
   let doc =
     "Keep 1-in-$(docv) memory-access events in the trace ring (1 = all). \
-     Operation spans, migrations, and monitor periods are always kept."
+     Operation spans, migrations, and monitor periods are always kept. \
+     With $(b,--backend native) the sampling applies to op spans instead; \
+     steals, parks, inbox batches, and rebalances are always kept."
   in
   Arg.(value & opt int 1 & info [ "trace-sample" ] ~docv:"N" ~doc)
 
@@ -186,13 +195,41 @@ let run_cmd =
              experiment ids / --all";
           exit 1
         end;
-        if
-          shards > 0 || metrics || trace <> None || occupancy || heat
-          || explain
-        then begin
+        (* Per-flag validation: --metrics/--trace/--trace-sample drive
+           the native flight recorder; the flags that read simulated
+           state get a precise refusal each. *)
+        if shards > 0 then begin
           prerr_endline
-            "o2sim: --backend native is incompatible with --shards and the \
-             observability flags (probes stay detached on real domains)";
+            "o2sim: --shards shards a simulated cell and only applies to \
+             --backend sim; --backend native already runs on real domains \
+             (size it with --domains)";
+          exit 1
+        end;
+        if occupancy then begin
+          prerr_endline
+            "o2sim: --occupancy reads the simulated memory system's cache \
+             observatory; real caches are not modeled, so it only applies \
+             to --backend sim. Native telemetry: --metrics / --trace";
+          exit 1
+        end;
+        if heat then begin
+          prerr_endline
+            "o2sim: --heat ranks objects by simulated cache hits/fills and \
+             only applies to --backend sim. Native telemetry: --metrics / \
+             --trace";
+          exit 1
+        end;
+        if explain then begin
+          prerr_endline
+            "o2sim: --explain records the simulated scheduler's decision \
+             provenance and only applies to --backend sim (the native \
+             monitor's rebalances appear in --trace instead)";
+          exit 1
+        end;
+        if trace_sample < 1 then begin
+          prerr_endline
+            "o2sim: --trace-sample must be >= 1 (1 keeps every op span, N \
+             keeps 1-in-N; steals/parks/rebalances are always kept)";
           exit 1
         end);
     if
@@ -236,7 +273,7 @@ let run_cmd =
       | `Native ->
           if
             O2_experiments.Native_exp.run_cli ~quick ~domains ~json:bench_json
-              ppf
+              ~metrics ~trace ~trace_sample ppf
           then Ok ()
           else Error "native backend: oracle cross-check FAILED"
       | `Sim -> O2_experiments.Registry.run_ids ~obs ~shards ~quick ~jobs ppf ids

@@ -15,6 +15,7 @@ module Kv = O2_native.Backend_kv.Make (O2_native.Native_backend)
 module Dir = O2_native.Backend_dir.Make (O2_native.Native_backend)
 module Op = O2_native.Op_program
 module Oracle = O2_native.Oracle
+module Tel = O2_runtime.Telemetry
 
 type row = {
   workload : string;
@@ -23,7 +24,20 @@ type row = {
   ops : int;  (** Completed backend ops, from the backend's own counter. *)
   seconds : float;
   ops_per_sec : float;
+  p50_ns : float;  (** Submit-to-end wall-clock latency percentiles... *)
+  p99_ns : float;  (** ...from metrics-only telemetry (no ring traffic) *)
+  p999_ns : float;  (** left attached during the measured window. *)
 }
+
+(* Submit-to-end latency across home and shipped ops, merged over every
+   sink — the telemetry stays in metrics-only mode (ring_capacity 0),
+   so the percentiles cost two clock reads per op, not a trace. *)
+let latency_hist tel =
+  let m = O2_obs.Native_tel.metrics tel in
+  let h = O2_obs.Hist.create () in
+  O2_obs.Hist.merge_into ~into:h (O2_obs.Metrics.hist m "op_ns/home");
+  O2_obs.Hist.merge_into ~into:h (O2_obs.Metrics.hist m "op_ns/shipped");
+  h
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -35,7 +49,8 @@ let time f =
 let fold_sink sinks c acc = sinks.(c) <- sinks.(c) lxor acc
 
 let kv_throughput ~domains ~clients ~ops_per_client ~rounds =
-  let b = NB.create ~domains () in
+  let tel = Tel.create ~ring_capacity:0 ~sample:0 ~domains () in
+  let b = NB.create ~telemetry:tel ~domains () in
   Fun.protect
     ~finally:(fun () -> NB.shutdown b)
     (fun () ->
@@ -75,6 +90,7 @@ let kv_throughput ~domains ~clients ~ops_per_client ~rounds =
       in
       ignore (Sys.opaque_identity sinks);
       let ops = NB.ops_completed b in
+      let lat = latency_hist tel in
       {
         workload = "kv_store";
         domains;
@@ -82,10 +98,14 @@ let kv_throughput ~domains ~clients ~ops_per_client ~rounds =
         ops;
         seconds;
         ops_per_sec = (if seconds > 0. then float_of_int ops /. seconds else nan);
+        p50_ns = O2_obs.Hist.p50 lat;
+        p99_ns = O2_obs.Hist.p99 lat;
+        p999_ns = O2_obs.Hist.p999 lat;
       })
 
 let dir_throughput ~domains ~clients ~ops_per_client ~rounds =
-  let b = NB.create ~domains () in
+  let tel = Tel.create ~ring_capacity:0 ~sample:0 ~domains () in
+  let b = NB.create ~telemetry:tel ~domains () in
   Fun.protect
     ~finally:(fun () -> NB.shutdown b)
     (fun () ->
@@ -117,6 +137,7 @@ let dir_throughput ~domains ~clients ~ops_per_client ~rounds =
       in
       ignore (Sys.opaque_identity sinks);
       let ops = NB.ops_completed b in
+      let lat = latency_hist tel in
       {
         workload = "dir_workload";
         domains;
@@ -124,6 +145,9 @@ let dir_throughput ~domains ~clients ~ops_per_client ~rounds =
         ops;
         seconds;
         ops_per_sec = (if seconds > 0. then float_of_int ops /. seconds else nan);
+        p50_ns = O2_obs.Hist.p50 lat;
+        p99_ns = O2_obs.Hist.p99 lat;
+        p999_ns = O2_obs.Hist.p999 lat;
       })
 
 let ladder ~extra =
@@ -151,12 +175,14 @@ let oracle_reports ~domains =
     (ladder ~extra:domains)
 
 let print_rows ppf rows =
-  Format.fprintf ppf "  %-13s %8s %8s %10s %9s %12s@." "workload" "domains"
-    "clients" "ops" "seconds" "ops/sec";
+  Format.fprintf ppf "  %-13s %8s %8s %10s %9s %12s %9s %9s %9s@." "workload"
+    "domains" "clients" "ops" "seconds" "ops/sec" "p50(ns)" "p99(ns)"
+    "p999(ns)";
   List.iter
     (fun r ->
-      Format.fprintf ppf "  %-13s %8d %8d %10d %9.3f %12.0f@." r.workload
-        r.domains r.clients r.ops r.seconds r.ops_per_sec)
+      Format.fprintf ppf "  %-13s %8d %8d %10d %9.3f %12.0f %9.0f %9.0f %9.0f@."
+        r.workload r.domains r.clients r.ops r.seconds r.ops_per_sec r.p50_ns
+        r.p99_ns r.p999_ns)
     rows
 
 let run ~quick ~domains ppf =
@@ -186,8 +212,10 @@ let json ~quick ~oracle ~rows =
   let row_json r =
     Printf.sprintf
       "    {\"workload\": \"%s\", \"domains\": %d, \"clients\": %d, \"ops\": \
-       %d, \"seconds\": %.3f, \"ops_per_sec\": %.0f}"
-      r.workload r.domains r.clients r.ops r.seconds r.ops_per_sec
+       %d, \"seconds\": %.3f, \"ops_per_sec\": %.0f, \"p50_ns\": %.0f, \
+       \"p99_ns\": %.0f, \"p999_ns\": %.0f}"
+      r.workload r.domains r.clients r.ops r.seconds r.ops_per_sec r.p50_ns
+      r.p99_ns r.p999_ns
   in
   let oracle_json (w, r) =
     Printf.sprintf
@@ -202,6 +230,7 @@ let json ~quick ~oracle ~rows =
     ([
        "{";
        "  \"benchmark\": \"native backend wall-clock ops/sec\",";
+       "  \"latency_unit\": \"wall-clock ns\",";
        Printf.sprintf "  \"quick\": %b," quick;
        Printf.sprintf "  \"available_cores\": %d,"
          (O2_runtime.Domain_pool.default_jobs ());
@@ -220,9 +249,76 @@ let write_json ~path ~quick ~oracle ~rows =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (json ~quick ~oracle ~rows))
 
-let run_cli ~quick ~domains ~json:json_path ppf =
+(* The observed cell: one kv run with the full flight recorder attached
+   — ring events on, op spans sampled 1-in-[sample] — feeding the o2top
+   readout, the per-domain table, and the Perfetto export. Deliberately
+   separate from the measured ladder above, whose telemetry stays
+   metrics-only so ring traffic never contaminates the throughput
+   numbers. *)
+let observed_cell ~quick ~domains ~sample ~metrics ~trace ppf =
+  let tel = Tel.create ~ring_capacity:(1 lsl 18) ~sample ~domains () in
+  let b = NB.create ~telemetry:tel ~domains () in
+  Fun.protect
+    ~finally:(fun () -> NB.shutdown b)
+    (fun () ->
+      let store =
+        Kv.create b ~name:"kv" ~buckets:64 ~slots_per_bucket:32 ()
+      in
+      let clients = 8 in
+      let ops_per_client = Harness.scaled ~quick 4_000 in
+      let rounds = 3 in
+      let sinks = Array.make clients 0 in
+      for r = 0 to rounds - 1 do
+        for c = 0 to clients - 1 do
+          let prog =
+            Op.kv_program ~clients ~client:c ~ops:ops_per_client
+              ~keyspace:1024 ~seed:(499 + (31 * r))
+          in
+          NB.spawn b ~core:(c mod domains) ~name:"kv-client" (fun () ->
+              let acc = ref 0 in
+              Array.iter
+                (fun op ->
+                  let raw =
+                    match op with
+                    | Op.Get k -> Kv.get store ~key:k
+                    | Op.Put (k, v) ->
+                        if Kv.put store ~key:k ~value:v then 1 else 0
+                    | Op.Delete k -> if Kv.delete store ~key:k then 1 else 0
+                  in
+                  acc := !acc lxor Op.kv_result op ~raw)
+                prog;
+              fold_sink sinks c !acc)
+        done;
+        NB.run b;
+        if r < rounds - 1 then NB.rebalance b
+      done;
+      ignore (Sys.opaque_identity sinks);
+      if metrics then begin
+        Format.fprintf ppf
+          "  observed cell (kv_store, %d domain(s), flight recorder \
+           attached):@.@."
+          domains;
+        Format.pp_print_string ppf
+          (O2_obs.O2top.render ~units:"wall-clock ns"
+             (O2_obs.Native_tel.metrics tel));
+        Format.fprintf ppf "@.-- per-domain breakdown --@.";
+        Format.pp_print_string ppf (O2_obs.Native_tel.domain_table tel);
+        Format.fprintf ppf "@."
+      end;
+      Option.iter
+        (fun path ->
+          O2_obs.Native_trace.write_file tel ~path;
+          Format.fprintf ppf
+            "  wrote native Perfetto trace to %s (wall-clock ns, one track \
+             per domain + coordinator)@."
+            path)
+        trace)
+
+let run_cli ~quick ~domains ~json:json_path ~metrics ~trace ~trace_sample ppf =
   let domains = O2_runtime.Domain_pool.clamped ~what:"--domains" domains in
   let ok, oracle, rows = run ~quick ~domains ppf in
+  if metrics || trace <> None then
+    observed_cell ~quick ~domains ~sample:trace_sample ~metrics ~trace ppf;
   Option.iter
     (fun path ->
       write_json ~path ~quick ~oracle ~rows;

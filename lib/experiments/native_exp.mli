@@ -16,6 +16,13 @@ type row = {
   ops : int;  (** Completed backend ops, from the backend's counter. *)
   seconds : float;
   ops_per_sec : float;
+  p50_ns : float;
+      (** Submit-to-end wall-clock latency percentiles (home and shipped
+          ops merged), from metrics-only telemetry left attached during
+          the measured window — two clock reads per op, no ring
+          traffic. *)
+  p99_ns : float;
+  p999_ns : float;
 }
 
 val measure : quick:bool -> domains:int -> unit -> row list
@@ -42,9 +49,32 @@ val write_json :
   unit
 (** BENCH_native.json: oracle verdicts and throughput rows. *)
 
+val observed_cell :
+  quick:bool ->
+  domains:int ->
+  sample:int ->
+  metrics:bool ->
+  trace:string option ->
+  Format.formatter ->
+  unit
+(** One kv run with the full flight recorder attached (ring capacity
+    2^18, op spans sampled 1-in-[sample]); with [metrics] prints the
+    o2top latency/counter readout (unit-labeled wall-clock ns) and the
+    per-domain breakdown, with [trace] writes the Perfetto export.
+    Separate from {!measure}'s ladder, whose telemetry stays
+    metrics-only so ring traffic never touches the throughput rows. *)
+
 val run_cli :
-  quick:bool -> domains:int -> json:string option -> Format.formatter -> bool
+  quick:bool ->
+  domains:int ->
+  json:string option ->
+  metrics:bool ->
+  trace:string option ->
+  trace_sample:int ->
+  Format.formatter ->
+  bool
 (** The [o2sim run --backend native] entry point: clamps [domains]
-    through {!O2_runtime.Domain_pool.clamped}, runs {!run}, writes
+    through {!O2_runtime.Domain_pool.clamped}, runs {!run}, then the
+    {!observed_cell} when [metrics] or [trace] ask for it, and writes
     [json] when given. Returns the oracle verdict — callers should exit
     nonzero on [false]. *)

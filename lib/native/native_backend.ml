@@ -15,6 +15,10 @@ type t = {
   pool : Native_pool.t;
   n : int;  (* pool domains *)
   probe : O2_runtime.Probe.t;
+  tel : O2_runtime.Telemetry.t;
+  tel_on : bool;  (* cached for with_op's hot path *)
+  tsinks : O2_runtime.Telemetry.sink array;  (* per-worker, prefetched *)
+  tcoord : O2_runtime.Telemetry.sink;
   mutable nobjs : int;
   mutable home_ : int array;  (* obj -> home domain *)
   mutable names : string array;
@@ -27,12 +31,16 @@ type t = {
   mutable periods : int;  (* completed rebalance steps *)
 }
 
-let create ~domains () =
-  let pool = Native_pool.create ~domains in
+let create ?(telemetry = O2_runtime.Telemetry.off) ~domains () =
+  let pool = Native_pool.create ~telemetry ~domains () in
   {
     pool;
     n = domains;
     probe = O2_runtime.Probe.create ();
+    tel = telemetry;
+    tel_on = O2_runtime.Telemetry.enabled telemetry;
+    tsinks = O2_runtime.Telemetry.sink_array telemetry ~n:domains;
+    tcoord = O2_runtime.Telemetry.coordinator telemetry;
     nobjs = 0;
     home_ = Array.make 16 0;
     names = Array.make 16 "";
@@ -85,8 +93,17 @@ let register t ~size ~name =
   o
 
 let spawn t ~core ~name body = Native_pool.spawn t.pool ~core ~name body
-let run t = Native_pool.drain t.pool
 
+let run t =
+  Native_pool.drain t.pool;
+  if t.tel_on then O2_runtime.Telemetry.note_quiesce t.tcoord
+
+let telemetry t = t.tel
+
+(* Telemetry timestamps ride in locals: [t0]/[t1] live in the shipped
+   continuation's frame, so a span that crosses domains keeps its
+   submit-side clock reading with no shared state. Ints when off, so
+   the disabled branch costs a cached-bool test and two zero loads. *)
 let with_op t ?write:_ obj f =
   let me = Native_pool.current_domain t.pool in
   if me < 0 then
@@ -95,22 +112,51 @@ let with_op t ?write:_ obj f =
     invalid_arg "Native_backend.with_op: unknown object";
   let row = t.submits.(me) in
   row.(obj) <- row.(obj) + 1;
+  let tel_on = t.tel_on in
+  let t0 = if tel_on then O2_runtime.Telemetry.now_ns () else 0 in
+  let token =
+    if tel_on then O2_runtime.Telemetry.op_submit t.tsinks.(me) ~obj else -1
+  in
   let h = t.home_.(obj) in
-  if h <> me then begin
+  let shipped = h <> me in
+  if shipped then begin
     let s = t.stats.(me) in
     s.ships_out <- s.ships_out + 1;
+    if tel_on then
+      O2_runtime.Telemetry.note_ship_out t.tsinks.(me) ~token ~obj ~dst:h;
     O2_runtime.Api.ship_to h;
     (* The continuation resumed on the home's worker; from here until
-       the next ship, everything runs there. *)
+       the next ship, everything runs there — including the telemetry
+       writes, which now target the home's own sink. *)
     let s = t.stats.(h) in
-    s.ships_in <- s.ships_in + 1
+    s.ships_in <- s.ships_in + 1;
+    if tel_on then
+      O2_runtime.Telemetry.note_ship_in t.tsinks.(h) ~token ~obj ~src:me
   end;
   let here = Native_pool.current_domain t.pool in
   let orow = t.ops_by_obj.(here) in
   orow.(obj) <- orow.(obj) + 1;
+  let t1 =
+    if tel_on then begin
+      O2_runtime.Telemetry.note_start t.tsinks.(here) ~token ~obj;
+      O2_runtime.Telemetry.now_ns ()
+    end
+    else 0
+  in
   let r = f () in
   let s = t.stats.(here) in
   s.ops <- s.ops + 1;
+  if tel_on then begin
+    let sk = t.tsinks.(here) in
+    let t2 = O2_runtime.Telemetry.now_ns () in
+    O2_runtime.Telemetry.note_end sk ~token ~obj;
+    O2_runtime.Telemetry.observe_exec sk (t2 - t1);
+    if shipped then begin
+      O2_runtime.Telemetry.observe_shipped sk (t2 - t0);
+      O2_runtime.Telemetry.observe_ship_delay sk (t1 - t0)
+    end
+    else O2_runtime.Telemetry.observe_home sk (t2 - t0)
+  end;
   r
 
 let touch _t ~write:_ ~obj:_ ~off:_ ~len:_ = ()
@@ -226,6 +272,7 @@ let rebalance t =
   done;
   t.migrations_ <- t.migrations_ + !moves;
   t.periods <- t.periods + 1;
+  if t.tel_on then O2_runtime.Telemetry.note_rebalance t.tcoord ~moves:!moves;
   if O2_runtime.Probe.active t.probe then
     O2_runtime.Probe.emit t.probe
       (O2_runtime.Probe.Rebalanced

@@ -18,11 +18,19 @@
 
 type t
 
-val create : domains:int -> unit -> t
+val create : ?telemetry:O2_runtime.Telemetry.t -> domains:int -> unit -> t
 (** Spawns the worker pool (see {!Native_pool.create} — the count is
     taken literally; clamp at the CLI with
     {!O2_runtime.Domain_pool.clamped}). Freshly registered objects are
-    homed round-robin across domains until the monitor moves them. *)
+    homed round-robin across domains until the monitor moves them.
+
+    [telemetry] (default {!O2_runtime.Telemetry.off}) additionally
+    instruments the op path: every [with_op] stamps submit / ship /
+    start / end span events (1-in-[sample]) and feeds the wall-clock
+    latency accumulators, carrying its timestamps in locals across the
+    ship so submit-to-end covers the whole handoff. {!rebalance} and
+    {!run} stamp rebalance / quiesce instants on the coordinator
+    sink. *)
 
 val shutdown : t -> unit
 (** Join the pool. Required before discarding the backend; idempotent. *)
@@ -37,6 +45,9 @@ val rebalance : t -> unit
 val pool : t -> Native_pool.t
 val home : t -> int -> int
 (** The object's current home domain. *)
+
+val telemetry : t -> O2_runtime.Telemetry.t
+(** The telemetry handed to {!create} ([Telemetry.off] if none). *)
 
 (** The {!O2_runtime.Backend_intf.S} surface. *)
 

@@ -30,10 +30,15 @@ type worker = {
   inbox : task Inbox.t;
   mutable executed : int;  (* owner-written *)
   mutable stolen : int;  (* owner-written *)
+  mutable last_victim : int;  (* deque index the last successful steal hit *)
+  sink : Telemetry.sink;  (* this worker's single-writer telemetry sink *)
 }
 
 type t = {
   n : int;
+  tel : Telemetry.t;
+  tel_on : bool;  (* Telemetry.enabled tel, cached for the hot loop *)
+  coord_sink : Telemetry.sink;
   workers : worker array;
   inflight : int Atomic.t;
   epoch : int Atomic.t;  (* wake ticket: bumped by every post *)
@@ -119,24 +124,36 @@ let run_task w handler task =
   | Resume k -> Effect.Deep.continue k ()
 
 (* Thief sweep over peers' deques, round-robin from me+1. A miss (empty
-   or lost race) moves on; one full silent lap gives up. *)
-let rec sweep t me i =
+   or lost race) moves on; one full silent lap gives up. A hit leaves
+   the victim's index in [w.last_victim] (a plain owner-written field)
+   so the telemetry event can name it without the sweep returning a
+   pair. *)
+let rec sweep t w me i =
   if i >= t.n then Done
   else begin
     let j = me + i in
     let j = if j >= t.n then j - t.n else j in
     let v = Deque.steal t.workers.(j).deque in
-    if v != Done then v else sweep t me (i + 1)
+    if v != Done then begin
+      w.last_victim <- j;
+      v
+    end
+    else sweep t w me (i + 1)
   end
 
-let park t e =
+(* Telemetry brackets the blocking section only: a park that loses the
+   epoch race before taking the mutex was never asleep and records
+   nothing. *)
+let park t w e =
   Atomic.incr t.sleepers;
   if Atomic.get t.epoch = e && not (Atomic.get t.stop) then begin
+    if t.tel_on then Telemetry.note_park w.sink;
     Mutex.lock t.lock;
     while Atomic.get t.epoch = e && not (Atomic.get t.stop) do
       Condition.wait t.wake t.lock
     done;
-    Mutex.unlock t.lock
+    Mutex.unlock t.lock;
+    if t.tel_on then Telemetry.note_wake w.sink
   end;
   Atomic.decr t.sleepers
 
@@ -144,6 +161,8 @@ let rec loop t w me handler on_task =
   if not (Atomic.get t.stop) then begin
     let e = Atomic.get t.epoch in
     let drained = Inbox.drain_into w.inbox on_task in
+    if drained > 0 && t.tel_on then
+      Telemetry.note_inbox_batch w.sink ~count:drained;
     let task = Deque.pop w.deque in
     if task != Done then begin
       run_task w handler task;
@@ -151,14 +170,15 @@ let rec loop t w me handler on_task =
     end
     else if drained > 0 then loop t w me handler on_task
     else begin
-      let stolen = sweep t me 1 in
+      let stolen = sweep t w me 1 in
       if stolen != Done then begin
         w.stolen <- w.stolen + 1;
+        if t.tel_on then Telemetry.note_steal w.sink ~victim:w.last_victim;
         run_task w handler stolen;
         loop t w me handler on_task
       end
       else begin
-        park t e;
+        park t w e;
         loop t w me handler on_task
       end
     end
@@ -181,19 +201,25 @@ let worker_main t me () =
   in
   loop t w me handler on_task
 
-let create ~domains =
+let create ?(telemetry = Telemetry.off) ~domains () =
   if domains < 1 then invalid_arg "Native_pool.create: domains must be >= 1";
-  let worker _ =
+  let sinks = Telemetry.sink_array telemetry ~n:domains in
+  let worker i =
     {
       deque = Deque.create ~dummy:Done ();
       inbox = Inbox.create ~dummy:Done ();
       executed = 0;
       stolen = 0;
+      last_victim = -1;
+      sink = sinks.(i);
     }
   in
   let t =
     {
       n = domains;
+      tel = telemetry;
+      tel_on = Telemetry.enabled telemetry;
+      coord_sink = Telemetry.coordinator telemetry;
       workers = Array.init domains worker;
       inflight = Atomic.make 0;
       epoch = Atomic.make 0;
@@ -214,6 +240,13 @@ let spawn t ~core ~name body =
   if core < 0 || core >= t.n then
     invalid_arg "Native_pool.spawn: core out of range";
   if t.down then invalid_arg "Native_pool.spawn: pool is shut down";
+  if t.tel_on then begin
+    (* Spawns come from the coordinator or from a worker; either way the
+       caller owns exactly one sink. *)
+    let me = current_domain t in
+    let s = if me >= 0 then t.workers.(me).sink else t.coord_sink in
+    Telemetry.note_spawned s ~core
+  end;
   Atomic.incr t.inflight;
   Inbox.push t.workers.(core).inbox (Fresh { name; body });
   notify t
@@ -247,3 +280,4 @@ let tasks_executed t =
   Array.fold_left (fun acc w -> acc + w.executed) 0 t.workers
 
 let steals t = Array.fold_left (fun acc w -> acc + w.stolen) 0 t.workers
+let telemetry t = t.tel

@@ -24,12 +24,20 @@
 
 type t
 
-val create : domains:int -> t
+val create : ?telemetry:O2_runtime.Telemetry.t -> domains:int -> unit -> t
 (** Spawn [domains] worker domains, idle until work arrives. The pool
     takes the count literally — oversubscribing the host is legal (the
     correctness tests do it); CLI entry points clamp first via
     {!O2_runtime.Domain_pool.clamped}.
-    @raise Invalid_argument if [domains < 1]. *)
+
+    [telemetry] (default {!O2_runtime.Telemetry.off}) attaches the
+    wall-clock flight recorder: each worker stamps steal / park / wake /
+    inbox-batch events and counters into its own single-writer sink,
+    and spawns are stamped on the caller's sink. With the default the
+    instrumented paths are a cached-bool branch — pinned
+    allocation-free by suite_hotpath and the o2staticcheck manifest.
+    @raise Invalid_argument if [domains < 1], or if [telemetry] was
+    created for a different domain count. *)
 
 val domains : t -> int
 
@@ -57,3 +65,6 @@ val tasks_executed : t -> int
 
 val steals : t -> int
 (** Successful deque steals across all workers; stable at quiescence. *)
+
+val telemetry : t -> O2_runtime.Telemetry.t
+(** The telemetry handed to {!create} ([Telemetry.off] if none). *)

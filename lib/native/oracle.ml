@@ -163,9 +163,9 @@ let finish ~domains ~expected_ops ~steals sim nat =
     mismatches;
   }
 
-let kv_cross_check ?(clients = 8) ?(ops_per_client = 240) ?(rounds = 3)
-    ?(buckets = 16) ?(slots_per_bucket = 32) ?(keyspace = 128) ?(seed = 42)
-    ~domains () =
+let kv_cross_check ?(telemetry = O2_runtime.Telemetry.off) ?(clients = 8)
+    ?(ops_per_client = 240) ?(rounds = 3) ?(buckets = 16)
+    ?(slots_per_bucket = 32) ?(keyspace = 128) ?(seed = 42) ~domains () =
   if clients <= 0 || ops_per_client <= 0 || rounds <= 0 then
     invalid_arg "Oracle.kv_cross_check: counts must be positive";
   if keyspace < clients then
@@ -181,7 +181,7 @@ let kv_cross_check ?(clients = 8) ?(ops_per_client = 240) ?(rounds = 3)
     Sim_kv.go (Sim_backend.create ()) ~clients ~ops_per_client ~rounds
       ~buckets ~slots_per_bucket ~keyspace ~seed ~between_rounds:ignore
   in
-  let nb = Native_backend.create ~domains () in
+  let nb = Native_backend.create ~telemetry ~domains () in
   Fun.protect
     ~finally:(fun () -> Native_backend.shutdown nb)
     (fun () ->
@@ -195,15 +195,16 @@ let kv_cross_check ?(clients = 8) ?(ops_per_client = 240) ?(rounds = 3)
         ~steals:(Native_pool.steals (Native_backend.pool nb))
         sim nat)
 
-let dir_cross_check ?(clients = 8) ?(ops_per_client = 160) ?(rounds = 2)
-    ?(dirs = 24) ?(entries_per_dir = 48) ?(seed = 42) ~domains () =
+let dir_cross_check ?(telemetry = O2_runtime.Telemetry.off) ?(clients = 8)
+    ?(ops_per_client = 160) ?(rounds = 2) ?(dirs = 24) ?(entries_per_dir = 48)
+    ?(seed = 42) ~domains () =
   if clients <= 0 || ops_per_client <= 0 || rounds <= 0 then
     invalid_arg "Oracle.dir_cross_check: counts must be positive";
   let sim =
     Sim_dir.go (Sim_backend.create ()) ~clients ~ops_per_client ~rounds ~dirs
       ~entries_per_dir ~seed ~between_rounds:ignore
   in
-  let nb = Native_backend.create ~domains () in
+  let nb = Native_backend.create ~telemetry ~domains () in
   Fun.protect
     ~finally:(fun () -> Native_backend.shutdown nb)
     (fun () ->

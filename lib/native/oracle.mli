@@ -20,6 +20,7 @@ type report = {
 }
 
 val kv_cross_check :
+  ?telemetry:O2_runtime.Telemetry.t ->
   ?clients:int ->
   ?ops_per_client:int ->
   ?rounds:int ->
@@ -35,10 +36,13 @@ val kv_cross_check :
     {!Op_program.max_bucket_load}) that no bucket can overflow — the
     precondition for schedule-independent [put] results — and that
     clients <= keyspace. The native monitor runs between rounds; the
-    simulator's runs on virtual time as usual.
+    simulator's runs on virtual time as usual. [telemetry] is attached
+    to the native backend — the suite uses this to pin that a flight
+    recorder does not perturb results.
     @raise Invalid_argument if the sizing precondition fails. *)
 
 val dir_cross_check :
+  ?telemetry:O2_runtime.Telemetry.t ->
   ?clients:int ->
   ?ops_per_client:int ->
   ?rounds:int ->

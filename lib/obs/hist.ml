@@ -13,6 +13,15 @@ type t = {
 let create () =
   { counts = Array.make buckets 0; total = 0; sum = 0; min_v = max_int; max_v = 0 }
 
+(* Import raw accumulator state (e.g. O2_runtime.Telemetry's per-sink
+   latency accs, which share this bucket layout but cannot depend on
+   lib/obs). The counts array is copied; mismatched lengths are padded /
+   truncated rather than rejected so layouts can evolve independently. *)
+let of_raw ~counts ~total ~sum ~min_v ~max_v =
+  let c = Array.make buckets 0 in
+  Array.blit counts 0 c 0 (min buckets (Array.length counts));
+  { counts = c; total; sum; min_v; max_v }
+
 let bucket_of v =
   (* number of significant bits: 0 -> 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3 ... *)
   let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in

@@ -11,6 +11,14 @@ type t
 
 val create : unit -> t
 
+val of_raw :
+  counts:int array -> total:int -> sum:int -> min_v:int -> max_v:int -> t
+(** Import an externally maintained accumulator with the same 63-bucket
+    log₂ layout (bucket 0 holds 0, bucket [k ≥ 1] holds [2^(k-1), 2^k))
+    — e.g. [O2_runtime.Telemetry]'s per-sink latency accumulators,
+    which cannot depend on this library. [counts] is copied; [min_v] is
+    [max_int] when empty, as in a fresh {!create}. *)
+
 val add : t -> int -> unit
 (** Record one sample; negative values are clamped to 0. *)
 

@@ -1,0 +1,63 @@
+(** Quiescent-side readers for {!O2_runtime.Telemetry}, the native
+    backend's wall-clock flight recorder.
+
+    All timestamps here are [CLOCK_MONOTONIC] {e nanoseconds} — never
+    simulator cycles; every derived metric name carries the unit
+    ([op_ns/...]). Read only after [Native_pool.drain] returned: the
+    sinks are single-writer and unsynchronised by design. *)
+
+type event = {
+  ts : int;  (** Wall-clock ns, monotonic per sink. *)
+  sink : int;  (** Writer: worker index, or [domains] = coordinator. *)
+  kind : O2_runtime.Telemetry.kind;
+  a : int;
+  b : int;
+  c : int;
+}
+
+val merged_events : O2_runtime.Telemetry.t -> event array
+(** The k-way merge of every sink's ring. Each ring is nondecreasing by
+    construction (writers clamp their stamps), so this is a cursor
+    merge with no sort: globally nondecreasing [ts], ties broken toward
+    the lower sink id — a total, deterministic order. Empty on the
+    disabled instance. *)
+
+(** One operation's reconstructed life, possibly spanning two domains:
+    submitted on [submit_sink], executed on [exec_sink] (they differ
+    exactly when the op shipped). *)
+type span = {
+  token : int;
+  obj : int;
+  submit_sink : int;
+  submit_ts : int;
+  ship_out_ts : int;  (** [-1] when the op ran at home. *)
+  ship_in_ts : int;
+  ship_dst : int;
+  exec_sink : int;
+  start_ts : int;
+  end_ts : int;
+}
+
+val spans_of_events : event array -> span list * int
+(** Replay a merged stream into completed spans (in completion order)
+    plus the count of incomplete ones — spans that lost events to the
+    ring bound and are withheld rather than emitted half-built. *)
+
+val spans : O2_runtime.Telemetry.t -> span list
+val incomplete_spans : O2_runtime.Telemetry.t -> int
+val shipped : span -> bool
+
+val metrics : O2_runtime.Telemetry.t -> Metrics.t
+(** Import the capture into a {!Metrics} registry: the per-sink latency
+    accumulators merge into [op_ns/home], [op_ns/shipped],
+    [op_ns/ship_delay] and [op_ns/exec] histograms (via
+    {!Hist.of_raw}), and the counters (steals, ships, parks, wakes,
+    spawns, inbox batches/tasks, ops submitted, events
+    retained/dropped) sum across sinks. Render with
+    [O2top.render ~units:"wall-clock ns"]. *)
+
+val domain_table : O2_runtime.Telemetry.t -> string
+(** A per-domain breakdown (one row per worker plus the coordinator):
+    ops submitted, steals, ships, parks, inbox batching, and each
+    sink's ring accounting — retained events and drops, so lossy
+    captures are visible right in the readout. *)

@@ -1,0 +1,154 @@
+(* Perfetto export of a native-backend telemetry capture. Same JSON
+   dialect as Trace_export (Chrome trace_event, object-with-traceEvents)
+   but a different time domain: these timestamps are CLOCK_MONOTONIC
+   nanoseconds rebased to the capture's first event, divided down to the
+   microseconds trace_event expects. otherData says so explicitly —
+   time_unit / clock labels make a native trace impossible to misread
+   as virtual time (and vice versa).
+
+   Track layout: pid 0, one thread per worker domain (tid = domain),
+   plus a coordinator track at tid = domains. Ops draw as complete
+   spans on the domain that executed them; a shipped op additionally
+   draws a flow arrow (id = its token) from the submitter's Ship_out to
+   the home's Ship_in, which is the picture the paper promises — the op
+   moves, the object never does. Park..wake pairs draw as "parked"
+   spans so idle time is visible; steals, rebalances and quiesces are
+   instants; inbox batches chart as a per-domain counter series. *)
+
+open O2_runtime
+
+let escape = Trace_export.escape_json
+
+let to_buffer ?obj_name tel buf =
+  let events = Native_tel.merged_events tel in
+  let spans, incomplete = Native_tel.spans_of_events events in
+  let domains = if Telemetry.enabled tel then Telemetry.domains tel else 0 in
+  let t0 = if Array.length events > 0 then events.(0).Native_tel.ts else 0 in
+  let us ts = float_of_int (ts - t0) /. 1000.0 in
+  let name_of obj =
+    match obj_name with
+    | Some f -> escape (f obj)
+    | None -> Printf.sprintf "obj%d" obj
+  in
+  let track sink = if sink = domains then "coordinator" else Printf.sprintf "domain %d" sink in
+  let first = ref true in
+  let event fmt =
+    Printf.ksprintf
+      (fun s ->
+        if !first then first := false else Buffer.add_string buf ",\n";
+        Buffer.add_string buf "    ";
+        Buffer.add_string buf s)
+      fmt
+  in
+  Buffer.add_string buf "{\n  \"traceEvents\": [\n";
+  event
+    "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"args\": \
+     {\"name\": \"o2sim native run\"}}";
+  for d = 0 to domains do
+    event
+      "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": %d, \
+       \"args\": {\"name\": \"%s\"}}"
+      d (track d);
+    event
+      "{\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": 0, \"tid\": \
+       %d, \"args\": {\"sort_index\": %d}}"
+      d d
+  done;
+  (* Op spans on the executing domain's track. *)
+  List.iter
+    (fun (s : Native_tel.span) ->
+      event
+        "{\"name\": \"%s\", \"cat\": \"op\", \"ph\": \"X\", \"pid\": 0, \
+         \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f, \"args\": {\"token\": %d, \
+         \"obj\": %d, \"class\": \"%s\", \"submit_domain\": %d, \
+         \"submit_to_end_ns\": %d}}"
+        (name_of s.Native_tel.obj) s.Native_tel.exec_sink
+        (us s.Native_tel.start_ts)
+        (float_of_int (max (s.Native_tel.end_ts - s.Native_tel.start_ts) 0)
+        /. 1000.0)
+        s.Native_tel.token s.Native_tel.obj
+        (if Native_tel.shipped s then "shipped" else "home")
+        s.Native_tel.submit_sink
+        (s.Native_tel.end_ts - s.Native_tel.submit_ts))
+    spans;
+  (* Ship handoffs as flow arrows: submitter -> home, id = token. *)
+  List.iter
+    (fun (s : Native_tel.span) ->
+      if Native_tel.shipped s && s.Native_tel.ship_in_ts >= 0 then begin
+        event
+          "{\"name\": \"ship %s\", \"cat\": \"ship\", \"ph\": \"s\", \"id\": \
+           %d, \"pid\": 0, \"tid\": %d, \"ts\": %.3f}"
+          (name_of s.Native_tel.obj) s.Native_tel.token
+          s.Native_tel.submit_sink
+          (us s.Native_tel.ship_out_ts);
+        event
+          "{\"name\": \"ship %s\", \"cat\": \"ship\", \"ph\": \"f\", \"bp\": \
+           \"e\", \"id\": %d, \"pid\": 0, \"tid\": %d, \"ts\": %.3f}"
+          (name_of s.Native_tel.obj) s.Native_tel.token s.Native_tel.exec_sink
+          (us s.Native_tel.ship_in_ts)
+      end)
+    spans;
+  (* Scheduler life: parked windows, steals, monitor instants, inbox
+     batch counters — straight off the merged stream. *)
+  let park_since = Array.make (domains + 1) (-1) in
+  Array.iter
+    (fun (e : Native_tel.event) ->
+      match e.Native_tel.kind with
+      | Telemetry.Park -> park_since.(e.Native_tel.sink) <- e.Native_tel.ts
+      | Telemetry.Wake ->
+          let p = park_since.(e.Native_tel.sink) in
+          if p >= 0 then begin
+            park_since.(e.Native_tel.sink) <- -1;
+            event
+              "{\"name\": \"parked\", \"cat\": \"idle\", \"ph\": \"X\", \
+               \"pid\": 0, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}"
+              e.Native_tel.sink (us p)
+              (float_of_int (e.Native_tel.ts - p) /. 1000.0)
+          end
+      | Telemetry.Steal ->
+          event
+            "{\"name\": \"steal from %d\", \"cat\": \"steal\", \"ph\": \
+             \"i\", \"s\": \"t\", \"pid\": 0, \"tid\": %d, \"ts\": %.3f, \
+             \"args\": {\"victim\": %d}}"
+            e.Native_tel.a e.Native_tel.sink (us e.Native_tel.ts)
+            e.Native_tel.a
+      | Telemetry.Inbox_batch ->
+          event
+            "{\"name\": \"inbox domain %d\", \"ph\": \"C\", \"pid\": 0, \
+             \"ts\": %.3f, \"args\": {\"tasks\": %d}}"
+            e.Native_tel.sink (us e.Native_tel.ts) e.Native_tel.a
+      | Telemetry.Rebalance ->
+          event
+            "{\"name\": \"rebalance\", \"cat\": \"monitor\", \"ph\": \"i\", \
+             \"s\": \"g\", \"pid\": 0, \"tid\": %d, \"ts\": %.3f, \"args\": \
+             {\"moves\": %d}}"
+            e.Native_tel.sink (us e.Native_tel.ts) e.Native_tel.a
+      | Telemetry.Quiesce ->
+          event
+            "{\"name\": \"quiesce\", \"cat\": \"monitor\", \"ph\": \"i\", \
+             \"s\": \"g\", \"pid\": 0, \"tid\": %d, \"ts\": %.3f}"
+            e.Native_tel.sink (us e.Native_tel.ts)
+      | _ -> ())
+    events;
+  Buffer.add_string buf "\n  ],\n";
+  Printf.ksprintf (Buffer.add_string buf)
+    "  \"displayTimeUnit\": \"ms\",\n\
+    \  \"otherData\": {\"domains\": %d, \"sample\": %d, \"events_retained\": \
+     %d, \"dropped_events\": %d, \"spans_complete\": %d, \
+     \"spans_incomplete\": %d, \"time_unit\": \"wall-clock ns\", \"clock\": \
+     \"CLOCK_MONOTONIC\"}\n"
+    domains (Telemetry.sample tel) (Array.length events)
+    (Telemetry.total_dropped tel)
+    (List.length spans) incomplete;
+  Buffer.add_string buf "}\n"
+
+let to_string ?obj_name tel =
+  let buf = Buffer.create 65536 in
+  to_buffer ?obj_name tel buf;
+  Buffer.contents buf
+
+let write_file ?obj_name tel ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?obj_name tel))

@@ -1,0 +1,32 @@
+(** Perfetto export for a native-backend telemetry capture — the
+    wall-clock counterpart of {!Trace_export}.
+
+    Same Chrome [trace_event] dialect, different time domain:
+    timestamps are [CLOCK_MONOTONIC] nanoseconds rebased to the
+    capture's first event (and scaled to the microseconds the format
+    expects); [otherData] carries [time_unit = "wall-clock ns"] and
+    [clock = "CLOCK_MONOTONIC"] so the two trace kinds can never be
+    confused. The track layout:
+
+    - one named track per worker domain ([tid] = domain index) plus a
+      [coordinator] track at [tid] = domain count;
+    - each reconstructed op span ({!Native_tel.span}) as a complete
+      event on the domain that executed it, classed [home]/[shipped];
+    - each ship handoff as a flow arrow ([ph:"s"]/[ph:"f"], id = the
+      op's token) from the submitter's [Ship_out] to the home's
+      [Ship_in];
+    - park..wake windows as [parked] idle spans, steals as instants
+      naming the victim, rebalance/quiesce as coordinator instants, and
+      inbox batch sizes as a per-domain counter series;
+    - ring-drop accounting (retained / dropped events, complete /
+      incomplete spans) under [otherData].
+
+    [obj_name] maps object ids to display names (default [objN]). *)
+
+val to_buffer :
+  ?obj_name:(int -> string) -> O2_runtime.Telemetry.t -> Buffer.t -> unit
+
+val to_string : ?obj_name:(int -> string) -> O2_runtime.Telemetry.t -> string
+
+val write_file :
+  ?obj_name:(int -> string) -> O2_runtime.Telemetry.t -> path:string -> unit

@@ -54,7 +54,7 @@ let gauge_table gauges =
     gauges;
   O2_stats.Table.render t
 
-let render ?(gauges = true) ?recorder metrics =
+let render ?(units = "cycles") ?(gauges = true) ?recorder metrics =
   let buf = Buffer.create 2048 in
   let section title body =
     if body <> "" then begin
@@ -65,7 +65,7 @@ let render ?(gauges = true) ?recorder metrics =
   in
   (match Metrics.hists metrics with
   | [] -> ()
-  | hs -> section "latency histograms (cycles)" (hist_table hs));
+  | hs -> section ("latency histograms (" ^ units ^ ")") (hist_table hs));
   (match Metrics.counters metrics with
   | [] -> ()
   | cs -> section "counters" (counter_table cs));
@@ -88,5 +88,5 @@ let render ?(gauges = true) ?recorder metrics =
            (Recorder.spans_dropped r)));
   Buffer.contents buf
 
-let print ?gauges ?recorder metrics =
-  print_string (render ?gauges ?recorder metrics)
+let print ?units ?gauges ?recorder metrics =
+  print_string (render ?units ?gauges ?recorder metrics)

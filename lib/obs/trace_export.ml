@@ -163,7 +163,8 @@ let to_buffer ?occupancy recorder buf =
     "  \"displayTimeUnit\": \"ms\",\n\
     \  \"otherData\": {\"events_total\": %d, \"events_retained\": %d, \
      \"dropped_events\": %d, \"spans_total\": %d, \"dropped_spans\": %d%s, \
-     \"ghz\": %.2f}\n"
+     \"ghz\": %.2f, \"time_unit\": \"simulated cycles\", \"clock\": \
+     \"virtual\"}\n"
     (Recorder.events_total recorder)
     (Recorder.events_retained recorder)
     (Recorder.events_dropped recorder)

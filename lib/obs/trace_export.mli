@@ -19,8 +19,11 @@
       cache charting resident lines and distinct objects over time.
 
     Timestamps are microseconds of virtual time (cycles divided by the
-    simulated clock rate); ring-drop accounting — total/retained/dropped
-    events, spans, and occupancy samples — is included under [otherData].
+    simulated clock rate); [otherData] carries ring-drop accounting —
+    total/retained/dropped events, spans, and occupancy samples — plus
+    [time_unit]/[clock] labels ([{"simulated cycles", "virtual"}] here;
+    the native exporter writes ["wall-clock ns"]/["CLOCK_MONOTONIC"])
+    so a trace can never be misread across the two time domains.
 
     {!ascii_timeline} renders the same window as a per-core text timeline
     for terminals and docs. *)
@@ -33,3 +36,8 @@ val ascii_timeline : ?width:int -> Recorder.t -> string
 (** One lane per core plus a monitor lane: [#] marks an executing
     operation span, [>]/[<] a migration leaving/arriving, [R] a rebalance
     period. [width] is the number of time columns (default 72). *)
+
+(**/**)
+
+val escape_json : string -> string
+(** JSON string-body escaping, shared with the native trace exporter. *)

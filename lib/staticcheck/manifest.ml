@@ -99,6 +99,19 @@ let default =
           "current_domain" ] };
     { module_ = "Native_backend";
       functions = [ "with_op"; "touch"; "compute"; "delta" ] };
+    (* native telemetry writers: every call site in the pool/backend is
+       guarded by a cached bool, and when the recorder IS on the writers
+       must still be flat int stores — ring append, counter bumps,
+       bucket increments. now_ns is deliberately absent: its int64
+       result boxes, a cost only ever paid with telemetry attached. *)
+    { module_ = "Telemetry";
+      functions =
+        [ "record_at"; "observe"; "bucket_of"; "note_steal"; "note_park";
+          "note_wake"; "note_inbox_batch"; "note_spawned"; "op_submit";
+          "note_ship_out"; "note_ship_in"; "note_start"; "note_end";
+          "observe_home"; "observe_shipped"; "observe_ship_delay";
+          "observe_exec"; "note_rebalance"; "note_quiesce"; "enabled";
+          "token_sink"; "token_seq" ] };
   ]
 
 let functions_for manifest ~module_ =

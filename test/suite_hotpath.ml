@@ -364,6 +364,56 @@ let test_sharded_window_loop () =
     true
     (sharded -. serial <= 1024.0)
 
+(* The PR-10 tentpole's zero-cost-when-off claim, steal-path edition:
+   the worker loop's shape — deque traffic plus a cached-bool telemetry
+   guard in front of a prefetched (inert) sink — allocates nothing when
+   the recorder is detached. Mirrors Native_pool.loop's structure
+   without needing a second domain for the Gc.minor_words read. *)
+let test_native_steal_path_telemetry_off () =
+  let tel = O2_runtime.Telemetry.off in
+  Alcotest.(check bool) "off is disabled" false
+    (O2_runtime.Telemetry.enabled tel);
+  let sinks = O2_runtime.Telemetry.sink_array tel ~n:1 in
+  let tel_on = O2_runtime.Telemetry.enabled tel in
+  let d = O2_native.Deque.create ~capacity:64 ~dummy:(-1) () in
+  for i = 0 to 15 do
+    O2_native.Deque.push d i
+  done;
+  let words =
+    minor_words_during (fun () ->
+        for i = 1 to iters do
+          O2_native.Deque.push d i;
+          let v = O2_native.Deque.steal d in
+          if v >= 0 && tel_on then
+            O2_runtime.Telemetry.note_steal sinks.(0) ~victim:0
+        done)
+  in
+  check_zero_alloc "deque steal path, telemetry off" words
+
+(* The dispatch path: with_op on the op's home domain (no ship, no
+   effect) with telemetry off must not allocate — the instrumentation
+   is a cached-bool branch and two zero loads. Gc.minor_words is
+   per-domain, so the probe runs inside the worker and hands its
+   reading out through a preallocated slot. *)
+let test_native_with_op_telemetry_off () =
+  let b = O2_native.Native_backend.create ~domains:1 () in
+  Fun.protect
+    ~finally:(fun () -> O2_native.Native_backend.shutdown b)
+    (fun () ->
+      let o = O2_native.Native_backend.register b ~size:64 ~name:"probe" in
+      let out = Array.make 1 0.0 in
+      O2_native.Native_backend.spawn b ~core:0 ~name:"probe" (fun () ->
+          for _ = 1 to 100 do
+            O2_native.Native_backend.with_op b o (fun () -> ())
+          done;
+          out.(0) <-
+            minor_words_during (fun () ->
+                for _ = 1 to iters do
+                  O2_native.Native_backend.with_op b o (fun () -> ())
+                done));
+      O2_native.Native_backend.run b;
+      check_zero_alloc "native with_op at home, telemetry off" out.(0))
+
 let suite =
   [
     Alcotest.test_case "event queue allocates nothing per event" `Quick
@@ -388,4 +438,8 @@ let suite =
       test_rebalancer_inactive_probe_step;
     Alcotest.test_case "steady-state shard window loop allocates nothing"
       `Quick test_sharded_window_loop;
+    Alcotest.test_case "telemetry-off steal path allocates nothing" `Quick
+      test_native_steal_path_telemetry_off;
+    Alcotest.test_case "telemetry-off with_op allocates nothing" `Quick
+      test_native_with_op_telemetry_off;
   ]
